@@ -1,0 +1,29 @@
+.PHONY: install test test-fast bench examples experiments report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+experiments:
+	python -m repro experiments --extensions
+
+report:
+	python -m repro report --output EXPERIMENTS.md
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

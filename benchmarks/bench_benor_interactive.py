@@ -1,0 +1,55 @@
+"""Benchmarks for Ben-Or consensus and interactive consistency.
+
+Baselines beyond the paper's own artefacts: the randomized route's
+cost (steps per decision under asynchrony) and the vector-consensus
+flooding cost relative to plain FloodSet.
+"""
+
+import random
+
+from repro.consensus.interactive import (
+    InteractiveConsistency,
+    check_interactive_consistency_run,
+)
+from repro.analysis import verify_algorithm
+from repro.failures import FailurePattern
+from repro.randomized import benor_decisions, run_benor
+from repro.rounds import RoundModel
+
+
+def bench_benor_mixed_inputs(benchmark):
+    pattern = FailurePattern.crash_free(3)
+
+    def mixed():
+        return run_benor(
+            [0, 1, 1], pattern, rng=random.Random(7), coin_seed=7
+        )
+
+    run = benchmark(mixed)
+    assert len(set(benor_decisions(run).values())) == 1
+    benchmark.extra_info["steps"] = len(run.schedule)
+
+
+def bench_benor_with_crash(once):
+    pattern = FailurePattern.with_crashes(3, {0: 25})
+
+    def crashed():
+        return run_benor(
+            [0, 1, 1], pattern, rng=random.Random(3), coin_seed=3
+        )
+
+    run = once(crashed)
+    decisions = benor_decisions(run)
+    assert decisions[1] == decisions[2]
+
+
+def bench_interactive_consistency_exhaustive(once):
+    report = once(
+        verify_algorithm,
+        InteractiveConsistency(),
+        3,
+        1,
+        RoundModel.RS,
+        checker=check_interactive_consistency_run,
+    )
+    assert report.ok

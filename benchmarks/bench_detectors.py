@@ -1,0 +1,56 @@
+"""Microbenchmarks for the failure-detector substrate.
+
+Histories and their axiom checks run inside every detector-related
+experiment; these benches isolate their raw cost so substrate
+regressions are visible independently of the experiment numbers.
+"""
+
+import random
+
+from repro.failures import (
+    DETECTOR_CLASSES,
+    FailurePattern,
+    PerfectDetector,
+    classify_history,
+)
+
+PATTERN = FailurePattern.with_crashes(4, {1: 20, 3: 60})
+HORIZON = 150
+
+
+def bench_perfect_history_generation(benchmark):
+    detector = PerfectDetector(max_delay=20)
+
+    def generate():
+        return detector.history(
+            PATTERN, horizon=HORIZON, rng=random.Random(1)
+        )
+
+    history = benchmark(generate)
+    assert 1 in history.suspects(0, HORIZON)
+
+
+def bench_classify_history(benchmark):
+    history = PerfectDetector(max_delay=20).history(
+        PATTERN, horizon=HORIZON, rng=random.Random(1)
+    )
+    report = benchmark(classify_history, history, PATTERN, HORIZON)
+    assert report.matches_class("P")
+
+
+def bench_full_hierarchy_classification(once):
+    """Generate + classify one history of every class in the hierarchy."""
+
+    def sweep():
+        results = {}
+        for name, detector_cls in DETECTOR_CLASSES.items():
+            history = detector_cls().history(
+                PATTERN, horizon=HORIZON, rng=random.Random(3)
+            )
+            results[name] = classify_history(
+                history, PATTERN, HORIZON
+            ).matches_class(name)
+        return results
+
+    results = once(sweep)
+    assert all(results.values()), results

@@ -1,0 +1,12 @@
+"""E1 — SDD is solvable in SS (paper Section 3).
+
+Times the randomized SS sweep: sender crash times x values x (Φ, Δ)
+configurations, checking integrity/validity/termination on every run.
+"""
+
+from repro.core.experiments import experiment_e1
+
+
+def bench_e1_sdd_solvable_in_ss(once):
+    result = once(experiment_e1, True)
+    assert result.ok, result.describe()

@@ -1,0 +1,21 @@
+"""E2 — Theorem 3.1: SDD unsolvable in SP.
+
+Times the indistinguishability-quadruple refutation of every candidate
+SP receiver.
+"""
+
+from repro.core.experiments import experiment_e2
+from repro.sdd import SP_CANDIDATE_FACTORIES, refute_sdd_candidate
+
+
+def bench_e2_theorem_31_refutations(once):
+    result = once(experiment_e2, True)
+    assert result.ok, result.describe()
+
+
+def bench_e2_single_refutation(benchmark):
+    """Microbenchmark: one run-quadruple refutation."""
+    refutation = benchmark(
+        refute_sdd_candidate, SP_CANDIDATE_FACTORIES["suspicion"], "suspicion"
+    )
+    assert refutation.refuted

@@ -1,0 +1,25 @@
+"""E3 — atomic commit: the SS vs SP commit-rate gap.
+
+Regenerates the commit-rate table over the full bounded adversary space
+of each model and asserts the paper's shape: SyncCommit@RS commits in
+every all-YES run, the safe RWS algorithm commits strictly less often,
+and the optimistic rule transplanted to RWS is unsafe.
+"""
+
+from repro.commit import compare_commit_rates
+from repro.core.experiments import experiment_e3
+
+
+def bench_e3_commit_rate_gap(once):
+    result = once(experiment_e3, True)
+    assert result.ok, result.describe()
+
+
+def bench_e3_rate_table(benchmark):
+    reports = benchmark(compare_commit_rates, n=3, t=1)
+    sync = reports["SyncCommit@RS"]
+    safe = reports["P-Commit@RWS"]
+    assert sync.commit_rate == 1.0
+    assert 0.0 < safe.commit_rate < sync.commit_rate
+    benchmark.extra_info["sync_commit_rate"] = sync.commit_rate
+    benchmark.extra_info["p_commit_rate"] = safe.commit_rate

@@ -1,0 +1,21 @@
+"""E4 — FloodSet in RS (Figure 1): t+1 rounds, uniform, exhaustive.
+
+Regenerates the t-sweep: for each (n, t), the exhaustive run space is
+explored once, asserting safety and the exact ``Lat = t + 1`` latency.
+"""
+
+import pytest
+
+from repro.analysis import profile_and_verify
+from repro.consensus import FloodSet
+from repro.rounds import RoundModel
+
+
+@pytest.mark.parametrize("n,t", [(3, 1), (4, 2)])
+def bench_e4_floodset_sweep(once, n, t):
+    profile, report = once(
+        profile_and_verify, FloodSet(), n, t, RoundModel.RS
+    )
+    assert report.ok
+    assert profile.Lat == t + 1
+    assert profile.Lambda == t + 1

@@ -1,0 +1,22 @@
+"""E5 — FloodSetWS in RWS (Figure 2): the halt guard works.
+
+Times (a) finding plain FloodSet's RWS counterexample and (b)
+certifying FloodSetWS over the complete RWS adversary space.
+"""
+
+from repro.analysis import verify_algorithm
+from repro.consensus import FloodSet, FloodSetWS
+from repro.rounds import RoundModel
+
+
+def bench_e5_find_floodset_counterexample(benchmark):
+    report = benchmark(
+        verify_algorithm, FloodSet(), 3, 1, RoundModel.RWS, stop_after=1
+    )
+    assert not report.ok
+
+
+def bench_e5_certify_floodsetws(once):
+    report = once(verify_algorithm, FloodSetWS(), 3, 1, RoundModel.RWS)
+    assert report.ok
+    assert report.runs_checked > 1000

@@ -1,0 +1,18 @@
+"""E6 — C_OptFloodSet / C_OptFloodSetWS: lat = 1 (Section 5.2)."""
+
+from repro.analysis import latency_profile
+from repro.consensus import COptFloodSet, COptFloodSetWS
+from repro.rounds import RoundModel
+
+
+def bench_e6_copt_lat_rs(benchmark):
+    profile = benchmark(
+        latency_profile, COptFloodSet(), 3, 1, RoundModel.RS
+    )
+    assert profile.lat == 1
+
+
+def bench_e6_copt_lat_rws(once):
+    profile = once(latency_profile, COptFloodSetWS(), 3, 1, RoundModel.RWS)
+    assert profile.lat == 1
+    assert profile.Lat == 2  # the fast path needs unanimity

@@ -1,0 +1,26 @@
+"""E7 — F_OptFloodSet (Figure 3, Theorem 5.1): Lat = 1.
+
+The paradox the paper highlights: the best worst-case-per-configuration
+runs are the ones where all t allowed failures happen *initially*.
+"""
+
+from repro.analysis import profile_and_verify
+from repro.consensus import FOptFloodSet, FOptFloodSetWS
+from repro.rounds import RoundModel
+
+
+def bench_e7_fopt_rs(once):
+    profile, report = once(
+        profile_and_verify, FOptFloodSet(), 3, 1, RoundModel.RS
+    )
+    assert report.ok
+    assert profile.Lat == 1
+    assert profile.Lambda == 2  # failure-free runs are slower!
+
+
+def bench_e7_fopt_rws(once):
+    profile, report = once(
+        profile_and_verify, FOptFloodSetWS(), 3, 1, RoundModel.RWS
+    )
+    assert report.ok
+    assert profile.Lat == 1

@@ -1,0 +1,21 @@
+"""E8 — A1 (Figure 4, Theorem 5.2): Λ(A1) = 1 in RS."""
+
+from repro.analysis import profile_and_verify
+from repro.consensus import A1
+from repro.rounds import FailureScenario, RoundModel, run_rs
+
+
+def bench_e8_a1_exhaustive_rs(once):
+    profile, report = once(profile_and_verify, A1(), 3, 1, RoundModel.RS)
+    assert report.ok
+    assert profile.Lambda == 1
+    assert profile.Lat == 1
+    assert profile.Lat_by_failures[1] == 2
+
+
+def bench_e8_a1_single_failure_free_run(benchmark):
+    """Microbenchmark: one failure-free A1 run (the Λ = 1 witness)."""
+    run = benchmark(
+        run_rs, A1(), [0, 1, 1], FailureScenario.failure_free(3), t=1
+    )
+    assert all(run.decision_round(p) == 1 for p in range(3))

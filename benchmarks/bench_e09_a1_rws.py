@@ -1,0 +1,24 @@
+"""E9 — A1 in RWS: the Section 5.3 disagreement scenario."""
+
+from repro.consensus import A1, check_uniform_consensus_run
+from repro.core.experiments import experiment_e9
+from repro.rounds import run_rws
+from repro.workloads import a1_rws_disagreement, adversarial_split
+
+
+def bench_e9_named_scenario(benchmark):
+    """Microbenchmark: replay the paper's decide-then-crash run."""
+
+    def scenario_run():
+        run = run_rws(
+            A1(), adversarial_split(3), a1_rws_disagreement(3), t=1
+        )
+        return check_uniform_consensus_run(run)
+
+    violations = benchmark(scenario_run)
+    assert any(v.clause == "uniform agreement" for v in violations)
+
+
+def bench_e9_full_experiment(once):
+    result = once(experiment_e9, True)
+    assert result.ok, result.describe()

@@ -1,0 +1,32 @@
+"""E10 — the Λ >= 2 lower bound in RWS vs Λ(A1) = 1 in RS.
+
+Times the refutation survey over the round-1-deciding candidate pool
+and the Λ computation for every safe RWS algorithm.
+"""
+
+from repro.analysis import latency_profile, round_one_survey
+from repro.consensus import COptFloodSetWS, FloodSetWS, FOptFloodSetWS
+from repro.consensus.candidates import ROUND_ONE_CANDIDATES
+from repro.rounds import RoundModel
+
+
+def bench_e10_round_one_survey(once):
+    verdicts = once(round_one_survey, ROUND_ONE_CANDIDATES, 3, 1)
+    assert all(
+        v.refuted or not v.has_round_one_property for v in verdicts
+    )
+
+
+def bench_e10_safe_rws_lambdas(once):
+    def lambdas():
+        return {
+            algorithm.name: latency_profile(
+                algorithm, 3, 1, RoundModel.RWS
+            ).Lambda
+            for algorithm in (
+                FloodSetWS(), COptFloodSetWS(), FOptFloodSetWS()
+            )
+        }
+
+    measured = once(lambdas)
+    assert all(value >= 2 for value in measured.values())

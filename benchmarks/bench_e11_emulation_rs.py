@@ -1,0 +1,36 @@
+"""E11 — RS emulated on SS: round synchrony + the step cost of a round.
+
+The second benchmark measures the emulation's step cost directly — the
+paper's "n + k" per-round price, with k determined by Φ, Δ and r.
+"""
+
+import random
+
+from repro.consensus import FloodSet
+from repro.core.experiments import experiment_e11
+from repro.emulation import (
+    check_emulated_round_synchrony,
+    emulate_rs_on_ss,
+    round_deadlines,
+)
+from repro.failures import FailurePattern
+
+
+def bench_e11_full_experiment(once):
+    result = once(experiment_e11, True)
+    assert result.ok, result.describe()
+
+
+def bench_e11_one_emulated_execution(benchmark):
+    pattern = FailurePattern.with_crashes(3, {1: 9})
+
+    def emulated():
+        return emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1,
+            phi=1, delta=1, num_rounds=2, rng=random.Random(5),
+        )
+
+    trace = benchmark(emulated)
+    assert check_emulated_round_synchrony(trace) == []
+    benchmark.extra_info["steps_per_run"] = len(trace.run.schedule)
+    benchmark.extra_info["deadlines"] = round_deadlines(3, 1, 1, 2)

@@ -1,0 +1,31 @@
+"""E12 — RWS emulated on SP: Lemma 4.1, non-vacuously."""
+
+import random
+
+from repro.consensus import FloodSetWS
+from repro.core.experiments import experiment_e12
+from repro.emulation import (
+    check_emulated_weak_round_synchrony,
+    count_pending_messages,
+    emulate_rws_on_sp,
+)
+from repro.failures import FailurePattern
+
+
+def bench_e12_full_experiment(once):
+    result = once(experiment_e12, True)
+    assert result.ok, result.describe()
+
+
+def bench_e12_one_emulated_execution(benchmark):
+    def emulated():
+        rng = random.Random(11)
+        pattern = FailurePattern.with_crashes(3, {0: 7})
+        return emulate_rws_on_sp(
+            FloodSetWS(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng,
+            max_detection_delay=2, delivery_prob=0.15, max_age=80,
+        )
+
+    trace = benchmark(emulated)
+    assert check_emulated_weak_round_synchrony(trace) == []
+    benchmark.extra_info["pending"] = count_pending_messages(trace)

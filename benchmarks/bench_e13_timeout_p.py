@@ -1,0 +1,41 @@
+"""E13 — P from timeouts on SS: axioms + detection-delay bound."""
+
+import random
+
+from repro.core.experiments import experiment_e13
+from repro.failures import (
+    FailurePattern,
+    TimeoutPerfectDetector,
+    detection_delays,
+    detection_threshold,
+)
+from repro.models import SynchronousModel
+
+
+def bench_e13_full_experiment(once):
+    result = once(experiment_e13, True)
+    assert result.ok, result.describe()
+
+
+def bench_e13_detection_latency(benchmark):
+    """Measure the detector's end-to-end detection delay on one SS run."""
+    n, phi, delta = 3, 2, 2
+
+    def detect():
+        model = SynchronousModel(phi=phi, delta=delta)
+        pattern = FailurePattern.with_crashes(n, {1: 30})
+        executor = model.executor(
+            TimeoutPerfectDetector(n, phi, delta),
+            n,
+            pattern,
+            rng=random.Random(17),
+            record_states=True,
+        )
+        return executor.execute(350)
+
+    run = benchmark(detect)
+    delays = [d for d in detection_delays(run).values() if d is not None]
+    bound = detection_threshold(n, phi, delta) + delta + 1
+    assert delays and max(delays) <= bound
+    benchmark.extra_info["max_detection_delay"] = max(delays)
+    benchmark.extra_info["bound"] = bound

@@ -1,0 +1,35 @@
+"""E14 — consensus vs uniform consensus: the gap in both models."""
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.consensus import (
+    EagerFloodSetWS,
+    EarlyDecidingConsensus,
+    check_consensus_run,
+)
+from repro.core.experiments import experiment_e14
+from repro.rounds import RoundModel
+
+
+@pytest.mark.slow
+def bench_e14_full_experiment(once):
+    result = once(experiment_e14, True)
+    assert result.ok, result.describe()
+
+
+def bench_e14_rws_witness(once):
+    """EagerFloodSetWS: consensus-safe yet uniform-unsafe in RWS."""
+
+    def witness():
+        consensus = verify_algorithm(
+            EagerFloodSetWS(), 3, 1, RoundModel.RWS,
+            checker=check_consensus_run,
+        )
+        uniform = verify_algorithm(
+            EagerFloodSetWS(), 3, 1, RoundModel.RWS, stop_after=1
+        )
+        return consensus.ok, uniform.ok
+
+    consensus_ok, uniform_ok = once(witness)
+    assert consensus_ok and not uniform_ok

@@ -1,0 +1,38 @@
+"""E15 — the headline table: every algorithm x both round models.
+
+This is the paper's conclusion in one regenerated artefact; the bench
+asserts the decisive cells (Λ(A1, RS) = 1; Λ = 2 for every safe RWS
+algorithm; the unsafe pairs flagged).
+"""
+
+from repro.analysis import format_table, latency_summary_table
+from repro.consensus import (
+    A1,
+    COptFloodSet,
+    COptFloodSetWS,
+    FloodSet,
+    FloodSetWS,
+    FOptFloodSet,
+    FOptFloodSetWS,
+)
+
+
+def bench_e15_summary_table(once):
+    algorithms = [
+        FloodSet(),
+        FloodSetWS(),
+        COptFloodSet(),
+        COptFloodSetWS(),
+        FOptFloodSet(),
+        FOptFloodSetWS(),
+        A1(),
+    ]
+    rows = once(latency_summary_table, algorithms, n=3, t=1)
+    by_key = {(row.algorithm, row.model): row for row in rows}
+    assert by_key[("A1", "RS")].Lambda == 1
+    assert by_key[("FloodSetWS", "RWS")].Lambda == 2
+    assert not by_key[("FloodSet", "RWS")].uniform_safe
+    assert not by_key[("A1", "RWS")].uniform_safe
+    # Keep the rendered artefact inspectable in the bench log.
+    print()
+    print(format_table(rows))

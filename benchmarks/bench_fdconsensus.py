@@ -1,0 +1,56 @@
+"""Benchmarks for ◊S consensus: the hierarchy's other end.
+
+Not a paper artefact (the paper's efficiency study is RS vs RWS) but
+the natural baseline from the failure-detector approach: how much a
+*weaker* detector costs in steps, under clean and noisy detection.
+"""
+
+import random
+
+from repro.failures import FailurePattern
+from repro.fdconsensus import ct_decisions, run_ct_consensus
+
+
+def bench_ct_clean_run(benchmark):
+    pattern = FailurePattern.crash_free(3)
+
+    def clean():
+        return run_ct_consensus(
+            [0, 1, 1], pattern,
+            rng=random.Random(1),
+            stabilization_time=0,
+            false_suspicion_prob=0.0,
+        )
+
+    run = benchmark(clean)
+    assert len(set(ct_decisions(run).values())) == 1
+    benchmark.extra_info["steps"] = len(run.schedule)
+
+
+def bench_ct_noisy_detector(once):
+    pattern = FailurePattern.crash_free(3)
+
+    def noisy():
+        return run_ct_consensus(
+            [0, 1, 1], pattern,
+            rng=random.Random(3),
+            stabilization_time=150,
+            false_suspicion_prob=0.5,
+            max_steps=15_000,
+        )
+
+    run = once(noisy)
+    assert len(set(ct_decisions(run).values())) == 1
+
+
+def bench_ct_coordinator_crash(once):
+    pattern = FailurePattern.with_crashes(3, {0: 10})
+
+    def crashed():
+        return run_ct_consensus(
+            [0, 1, 1], pattern, rng=random.Random(5)
+        )
+
+    run = once(crashed)
+    decisions = ct_decisions(run)
+    assert decisions[1] == decisions[2]

@@ -1,0 +1,58 @@
+"""X-series extension benches: the ablations of DESIGN.md's §5.
+
+X1 (t = 2 resilience sweep) is marked slow — its exhaustive RS space is
+the largest single sweep in the suite.
+"""
+
+import pytest
+
+from repro.core.extensions import (
+    extension_x1,
+    extension_x2,
+    extension_x3,
+    extension_x4,
+)
+
+
+@pytest.mark.slow
+def bench_x1_resilience_sweep(once):
+    result = once(extension_x1, True)
+    assert result.ok, result.describe()
+
+
+def bench_x2_commit_rate_vs_n(once):
+    result = once(extension_x2, True)
+    assert result.ok, result.describe()
+
+
+def bench_x3_emulation_cost(once):
+    result = once(extension_x3, True)
+    assert result.ok, result.describe()
+
+
+def bench_x4_atomic_broadcast(once):
+    result = once(extension_x4, True)
+    assert result.ok, result.describe()
+
+
+@pytest.mark.slow
+def bench_x5_uniform_harder_than_consensus(once):
+    from repro.core.extensions import extension_x5
+
+    result = once(extension_x5, True)
+    assert result.ok, result.describe()
+
+
+def bench_x6_adaptive_ep(once):
+    from repro.core.extensions import extension_x6
+
+    result = once(extension_x6, True)
+    assert result.ok, result.describe()
+
+
+@pytest.mark.slow
+def bench_x7_early_deciding_gap(once):
+    from repro.core.extensions import extension_x7
+
+    result = once(extension_x7, True)
+    assert result.ok, result.describe()

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (the
+paper has no numeric tables; its "figures" are algorithms and its
+results are theorems and latency equalities, so each bench times the
+mechanical reproduction and asserts the claim's shape).  Heavy
+exhaustive sweeps use ``benchmark.pedantic`` with a single round;
+kernel microbenchmarks use the default calibrated timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavyweight callable exactly once under timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,69 @@
+"""Atomic broadcast: total order from repeated consensus.
+
+The paper opens by placing agreement protocols — atomic broadcast,
+atomic commit — at the heart of fault-tolerant systems.  This example
+runs the library's atomic broadcast (a sequence of FloodSet consensus
+instances) through both round models and shows that the RS/RWS split
+carries all the way up the stack: the plain algorithm loses *total
+order* in RWS through exactly the pending-message anomaly that breaks
+its consensus core.
+
+Run:  python examples/broadcast_pipeline.py
+"""
+
+from repro.analysis import verify_algorithm
+from repro.broadcast import (
+    AtomicBroadcast,
+    AtomicBroadcastWS,
+    check_atomic_broadcast_run,
+)
+from repro.rounds import FailureScenario, RoundModel, run_rs, run_rws
+from repro.workloads import crash_mid_broadcast
+
+
+def sequences(run):
+    return {pid: state.delivered for pid, state in run.final_states.items()}
+
+
+def main() -> None:
+    values = (("p0/a", "p0/b"), ("p1/a",), ("p2/a",))
+
+    print("=== failure-free: everyone delivers in the same order ===")
+    run = run_rs(
+        AtomicBroadcast(), values, FailureScenario.failure_free(3),
+        t=1, max_rounds=4,
+    )
+    for pid, sequence in sorted(sequences(run).items()):
+        print(f"  p{pid}: {list(sequence)}")
+    print()
+
+    print("=== a crash mid-broadcast: flooding repairs the order ===")
+    run = run_rs(
+        AtomicBroadcast(), values, crash_mid_broadcast(3, reached=(1,)),
+        t=1, max_rounds=4,
+    )
+    for pid, sequence in sorted(sequences(run).items()):
+        print(f"  p{pid}: {list(sequence)}")
+    print("  spec violations:", check_atomic_broadcast_run(run) or "none")
+    print()
+
+    print("=== the RWS split, measured over the full adversary space ===")
+    domain = (("x",), ("y",))
+    for algorithm, model in (
+        (AtomicBroadcast(), RoundModel.RS),
+        (AtomicBroadcastWS(), RoundModel.RWS),
+        (AtomicBroadcast(), RoundModel.RWS),
+    ):
+        report = verify_algorithm(
+            algorithm, 3, 1, model,
+            checker=check_atomic_broadcast_run, domain=domain, horizon=4,
+        )
+        print(f"  {algorithm.name}@{model.value}: "
+              f"{'SAFE' if report.ok else 'VIOLATED'} "
+              f"over {report.runs_checked} runs")
+        if not report.ok:
+            print(f"    e.g. {report.violations[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Emulation tour: rounds are an abstraction, steps are the machine.
+
+Section 4 of the paper introduces RS and RWS as models emulated *from*
+SS and SP.  This example runs the same round algorithm through both
+emulations on the raw step kernel and checks the synchrony property
+each emulation promises:
+
+* RS on SS — round synchrony (a missing message proves a crash), with
+  the per-round step deadlines derived from Φ and Δ;
+* RWS on SP — weak round synchrony (Lemma 4.1): pending messages do
+  occur, but their senders are dead by the end of the next round.
+
+Run:  python examples/emulation_tour.py
+"""
+
+import random
+
+from repro.consensus import FloodSet, FloodSetWS
+from repro.emulation import (
+    check_emulated_round_synchrony,
+    check_emulated_weak_round_synchrony,
+    count_pending_messages,
+    emulate_rs_on_ss,
+    emulate_rws_on_sp,
+    round_deadlines,
+)
+from repro.failures import FailurePattern
+
+
+def rs_demo() -> None:
+    print("=== RS on SS ===")
+    for phi, delta in ((1, 1), (2, 2)):
+        deadlines = round_deadlines(3, phi, delta, 4)
+        print(f"Φ={phi}, Δ={delta}: local-step deadlines per round {deadlines}")
+    print()
+
+    pattern = FailurePattern.with_crashes(3, {1: 9})
+    trace = emulate_rs_on_ss(
+        FloodSet(),
+        [0, 1, 1],
+        pattern,
+        t=1,
+        phi=1,
+        delta=1,
+        num_rounds=2,
+        rng=random.Random(5),
+    )
+    print(f"pattern {pattern.describe()} -> decisions {trace.decisions}")
+    print(
+        "round synchrony violations:",
+        check_emulated_round_synchrony(trace) or "none",
+    )
+    print(f"steps executed: {len(trace.run.schedule)}")
+    print()
+
+
+def rws_demo() -> None:
+    print("=== RWS on SP (Lemma 4.1) ===")
+    violations = 0
+    pending_total = 0
+    runs = 20
+    for seed in range(runs):
+        rng = random.Random(seed)
+        pattern = FailurePattern.with_crashes(3, {0: rng.randint(3, 15)})
+        trace = emulate_rws_on_sp(
+            FloodSetWS(),
+            [0, 1, 1],
+            pattern,
+            t=1,
+            num_rounds=2,
+            rng=rng,
+            max_detection_delay=2,
+            delivery_prob=0.15,
+            max_age=80,
+        )
+        violations += len(check_emulated_weak_round_synchrony(trace))
+        pending_total += count_pending_messages(trace)
+    print(
+        f"{runs} randomized SP runs: {pending_total} pending messages "
+        f"observed, {violations} weak-round-synchrony violations"
+    )
+    print(
+        "Pending messages are real — and their senders always die by the "
+        "next round, exactly as Lemma 4.1 proves."
+    )
+
+
+def main() -> None:
+    rs_demo()
+    rws_demo()
+
+
+if __name__ == "__main__":
+    main()

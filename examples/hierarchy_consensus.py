@@ -1,0 +1,61 @@
+"""Consensus across the detector hierarchy: ◊S vs P vs SS.
+
+The paper compares the *strongest* timing model (SS) with the
+*strongest* detector model (SP).  This example rounds out the picture
+with the hierarchy's other end: the Chandra–Toueg rotating-coordinator
+algorithm needs only ◊S — a detector that may lie for arbitrarily long
+— yet keeps uniform agreement through every lie, paying only in rounds.
+
+Run:  python examples/hierarchy_consensus.py
+"""
+
+import random
+
+from repro.failures import FailurePattern
+from repro.fdconsensus import ct_decisions, run_ct_consensus
+
+
+def trial(label, *, crashes=None, stabilization=0, noise=0.0, seed=1):
+    pattern = FailurePattern.with_crashes(3, crashes or {})
+    run = run_ct_consensus(
+        [0, 1, 1],
+        pattern,
+        rng=random.Random(seed),
+        stabilization_time=stabilization,
+        false_suspicion_prob=noise,
+        max_steps=15_000,
+    )
+    decisions = ct_decisions(run)
+    max_round = max(state.round for state in run.final_states.values())
+    print(
+        f"  {label}: decisions={decisions}, steps={len(run.schedule)}, "
+        f"max round={max_round}"
+    )
+    assert len(set(decisions.values())) <= 1
+
+
+def main() -> None:
+    print("=== Chandra-Toueg consensus with ◊S (n=3, t=1) ===\n")
+
+    print("perfect conditions (instant stabilisation, no crashes):")
+    trial("clean", stabilization=0)
+
+    print("\nround-1 coordinator crashes; rotation recovers:")
+    trial("p0 crashes", crashes={0: 10})
+
+    print("\nthe detector lies for a long time (◊S's hard regime):")
+    trial("noisy pre-GST", stabilization=150, noise=0.5, seed=3)
+
+    print("\ncrash + noise together:")
+    trial("both", crashes={0: 30}, stabilization=100, noise=0.4, seed=7)
+
+    print(
+        "\nSafety never budged — only the round count grew.  That is the "
+        "failure-detector approach's trade: with ◊S, time buys liveness; "
+        "with P (the paper's SP), detection itself is reliable but still "
+        "unbounded; only SS bounds it — which is the paper's whole point."
+    )
+
+
+if __name__ == "__main__":
+    main()

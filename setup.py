@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works in offline environments that
+lack the ``wheel`` package (legacy editable installs do not need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Indistinguishability of runs — the engine behind Theorem 3.1.
+
+Two runs are indistinguishable to a process when it makes the same
+observations in both: the same sequence of (received payloads,
+failure-detector values) at its steps.  A deterministic automaton must
+then behave identically — the cornerstone of essentially every
+impossibility proof in this literature, and of the paper's Theorem 3.1
+in particular, whose four runs are pairwise indistinguishable to the
+receiver.
+
+This module makes the notion first-class so proofs-by-indistinguish-
+ability can be *checked* rather than trusted: the SDD refuter asserts
+equal decisions; these helpers assert the stronger structural fact the
+argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simulation.run import Run
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a process observes in one of its steps."""
+
+    payloads: tuple[Any, ...]
+    suspects: frozenset[int] | None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Obs(payloads={self.payloads!r}, suspects={self.suspects!r})"
+
+
+def observations(run: Run, pid: int) -> list[Observation]:
+    """The observation sequence of ``pid`` in ``run``.
+
+    Payload order within a step follows delivery order (deterministic
+    in the kernel); sender identities are visible through payloads only
+    if the algorithm put them there, matching the model where a process
+    sees message contents, not channel metadata.
+    """
+    sequence: list[Observation] = []
+    for step in run.schedule:
+        if step.pid != pid:
+            continue
+        payloads = tuple(
+            run.messages[uid].payload for uid in step.received_uids
+        )
+        sequence.append(
+            Observation(payloads=payloads, suspects=step.suspects)
+        )
+    return sequence
+
+
+def indistinguishable(run_a: Run, run_b: Run, pid: int) -> bool:
+    """True iff ``pid`` observes the same sequence in both runs.
+
+    Compares up to the length of the shorter observation sequence when
+    one run is a decided-and-stopped prefix of the other — the paper's
+    "indistinguishable until p_j decides".
+    """
+    a = observations(run_a, pid)
+    b = observations(run_b, pid)
+    shorter = min(len(a), len(b))
+    return a[:shorter] == b[:shorter]
+
+
+def first_divergence(
+    run_a: Run, run_b: Run, pid: int
+) -> tuple[int, Observation | None, Observation | None] | None:
+    """Locate where ``pid``'s observations split, or ``None`` if never.
+
+    Returns ``(index, obs_a, obs_b)`` for the first differing local
+    step; an observation is ``None`` when one sequence already ended.
+    """
+    a = observations(run_a, pid)
+    b = observations(run_b, pid)
+    for index in range(min(len(a), len(b))):
+        if a[index] != b[index]:
+            return index, a[index], b[index]
+    return None

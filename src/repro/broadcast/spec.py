@@ -1,0 +1,102 @@
+"""The uniform atomic broadcast specification.
+
+Clauses (uniform variants, over *all* processes' delivery sequences —
+faulty ones included, which is what makes the RWS anomaly visible):
+
+* **Uniform integrity** — every message is delivered at most once, and
+  only if some process broadcast it.
+* **Uniform total order** — any two delivery sequences are
+  prefix-compatible (one is a prefix of the other).  Together with
+  integrity this subsumes uniform agreement on delivered messages up to
+  the shorter sequence.
+* **Validity** — every message broadcast by a correct process is
+  delivered by every correct process (horizon-relative: callers must
+  run enough instances; two suffice for messages known at the start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broadcast.algorithm import BroadcastState
+from repro.rounds.executor import RoundRun
+
+
+@dataclass(frozen=True)
+class BroadcastViolation:
+    """One violated atomic-broadcast clause on one run."""
+
+    clause: str
+    detail: str
+    scenario: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.clause}] {self.detail} (scenario={self.scenario})"
+
+
+def _sequences(run: RoundRun) -> dict[int, tuple]:
+    return {
+        pid: state.delivered
+        for pid, state in run.final_states.items()
+        if isinstance(state, BroadcastState)
+    }
+
+
+def check_atomic_broadcast_run(run: RoundRun) -> list[BroadcastViolation]:
+    """Check one finished run against the atomic broadcast spec."""
+    violations: list[BroadcastViolation] = []
+    scenario_text = run.scenario.describe()
+
+    def flag(clause: str, detail: str) -> None:
+        violations.append(
+            BroadcastViolation(
+                clause=clause, detail=detail, scenario=scenario_text
+            )
+        )
+
+    sequences = _sequences(run)
+    broadcast_messages = {
+        message for values in run.values for message in values
+    }
+
+    # Uniform integrity.
+    for pid, sequence in sequences.items():
+        if len(set(sequence)) != len(sequence):
+            flag(
+                "uniform integrity",
+                f"p{pid} delivered a message twice: {sequence}",
+            )
+        for message in sequence:
+            if message not in broadcast_messages:
+                flag(
+                    "uniform integrity",
+                    f"p{pid} delivered {message!r}, which nobody broadcast",
+                )
+
+    # Uniform total order (prefix compatibility, all pairs).
+    pids = sorted(sequences)
+    for i, p in enumerate(pids):
+        for q in pids[i + 1:]:
+            a, b = sequences[p], sequences[q]
+            shorter = min(len(a), len(b))
+            if a[:shorter] != b[:shorter]:
+                flag(
+                    "uniform total order",
+                    f"p{p} delivered {a} but p{q} delivered {b}",
+                )
+
+    # Validity: correct broadcasters' messages reach every correct process.
+    correct = run.scenario.correct
+    owed = {
+        message
+        for pid in correct
+        for message in run.values[pid]
+    }
+    for pid in correct:
+        missing = owed - set(sequences.get(pid, ()))
+        if missing:
+            flag(
+                "validity",
+                f"correct p{pid} never delivered {sorted(missing, key=repr)}",
+            )
+    return violations

@@ -1,0 +1,208 @@
+"""Atomic commit algorithms for the round models.
+
+All three NBAC variants share a FloodSet-like skeleton: for ``t + 1``
+rounds every process floods the table of votes it knows, then applies a
+decision *rule* to its final table.  The rules differ:
+
+* **optimistic** — COMMIT iff every *visible* vote is YES.  Missing
+  votes are treated as initially-dead voters.  Safe in RS with
+  ``t = 1``: a voter that reached anyone has its vote flooded to all
+  (so a NO is never missed), and a voter that reached no one never cast
+  its vote.  Unsafe in RWS: a pending NO vote is invisible.
+* **strict** — COMMIT iff all ``n`` votes are visible and YES.  Safe in
+  both models, but aborts in every run with an invisible vote — the
+  price SP pays, and the source of the commit-rate gap.
+
+:class:`TwoPhaseCommit` is the classical coordinator-based blocking
+protocol, included as the baseline that motivates non-blocking commit:
+when the coordinator crashes in the decision window, participants block
+(termination violation in the finite trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.commit.spec import ABORT, COMMIT
+from repro.errors import ConfigurationError
+from repro.rounds.algorithm import RoundAlgorithm, broadcast
+
+
+@dataclass(frozen=True)
+class CommitState:
+    """State of the vote-flooding commit skeleton."""
+
+    rounds: int
+    votes: Mapping[int, bool]  # pid -> vote, as far as known
+    halt: frozenset
+    decision: Any
+    n: int
+    t: int
+
+
+class _VoteFloodingCommit(RoundAlgorithm):
+    """Shared skeleton: flood vote tables for t+1 rounds, then decide."""
+
+    #: Whether the FloodSetWS halt guard filters late senders (RWS use).
+    use_halt = False
+
+    def initial_state(self, pid: int, n: int, t: int, value: Any) -> CommitState:
+        return CommitState(
+            rounds=0,
+            votes={pid: bool(value)},
+            halt=frozenset(),
+            decision=None,
+            n=n,
+            t=t,
+        )
+
+    def messages(self, pid: int, state: CommitState) -> Mapping[int, Any]:
+        if state.rounds <= state.t:
+            return broadcast(dict(state.votes), state.n)
+        return {}
+
+    def transition(
+        self, pid: int, state: CommitState, received: Mapping[int, Any]
+    ) -> CommitState:
+        rounds = state.rounds + 1
+        votes = dict(state.votes)
+        for sender, table in received.items():
+            if self.use_halt and sender in state.halt:
+                continue
+            votes.update(table)
+        halt = state.halt
+        if self.use_halt:
+            halt = halt | frozenset(
+                q for q in range(state.n) if q not in received
+            )
+        decision = state.decision
+        if rounds == state.t + 1 and decision is None:
+            decision = self._decide(votes, state.n)
+        return replace(
+            state, rounds=rounds, votes=votes, halt=halt, decision=decision
+        )
+
+    def _decide(self, votes: Mapping[int, bool], n: int) -> str:
+        raise NotImplementedError
+
+    def decision_of(self, state: CommitState) -> Any:
+        return state.decision
+
+
+class SynchronousCommit(_VoteFloodingCommit):
+    """RS commit with the optimistic rule (t = 1).
+
+    The SDD-powered guarantee: a voter that is not initially dead
+    reached at least one process with its vote; with a single possible
+    crash that process is correct and floods the vote to everyone.  So
+    the optimistic rule never misses a cast NO, and commits whenever
+    the crash pattern allowed the votes through — strictly more often
+    than any safe RWS rule.
+    """
+
+    name = "SyncCommit"
+
+    def initial_state(self, pid: int, n: int, t: int, value: Any) -> CommitState:
+        if t != 1:
+            raise ConfigurationError(
+                "SynchronousCommit's optimistic rule is proven safe for "
+                f"t = 1 only; got t={t}"
+            )
+        return super().initial_state(pid, n, t, value)
+
+    def _decide(self, votes: Mapping[int, bool], n: int) -> str:
+        return COMMIT if all(votes.values()) else ABORT
+
+
+class PerfectFDCommit(_VoteFloodingCommit):
+    """RWS-safe commit: the strict rule plus the halt guard.
+
+    Aborts whenever any vote is invisible — including when the missing
+    voter did cast a YES whose messages are all pending.  That
+    over-caution is forced: Theorem 3.1 means no RWS algorithm can tell
+    a pending vote from a never-cast one.
+    """
+
+    name = "P-Commit"
+    use_halt = True
+
+    def _decide(self, votes: Mapping[int, bool], n: int) -> str:
+        if len(votes) == n and all(votes.values()):
+            return COMMIT
+        return ABORT
+
+
+class OptimisticFDCommit(_VoteFloodingCommit):
+    """The RS rule transplanted to RWS — deliberately unsafe.
+
+    Exists to *demonstrate* why SP-based commit must be strict: a
+    pending NO vote makes this algorithm commit against a NO voter
+    (commit-validity violation), found mechanically by experiment E3.
+    """
+
+    name = "OptimisticP-Commit"
+    use_halt = True
+
+    def _decide(self, votes: Mapping[int, bool], n: int) -> str:
+        return COMMIT if all(votes.values()) else ABORT
+
+
+@dataclass(frozen=True)
+class TwoPhaseState:
+    """State of the 2PC baseline."""
+
+    rounds: int
+    votes: Mapping[int, bool]
+    decision: Any
+    n: int
+    t: int
+
+
+class TwoPhaseCommit(RoundAlgorithm):
+    """Classical two-phase commit; blocking when the coordinator dies.
+
+    Round 1: every participant sends its vote to the coordinator
+    (process 0).  Round 2: the coordinator broadcasts COMMIT iff it
+    received ``n`` YES votes, else ABORT.  Participants that never hear
+    a verdict stay undecided — the blocking behaviour that motivates
+    NBAC (and that experiment E3's baseline row shows as termination
+    violations).
+    """
+
+    name = "2PC"
+
+    def initial_state(self, pid: int, n: int, t: int, value: Any) -> TwoPhaseState:
+        return TwoPhaseState(
+            rounds=0, votes={pid: bool(value)}, decision=None, n=n, t=t
+        )
+
+    def messages(self, pid: int, state: TwoPhaseState) -> Mapping[int, Any]:
+        if state.rounds == 0:
+            return {0: ("vote", state.votes[pid])}
+        if state.rounds == 1 and pid == 0:
+            all_yes = (
+                len(state.votes) == state.n and all(state.votes.values())
+            )
+            verdict = COMMIT if all_yes else ABORT
+            return broadcast(("verdict", verdict), state.n)
+        return {}
+
+    def transition(
+        self, pid: int, state: TwoPhaseState, received: Mapping[int, Any]
+    ) -> TwoPhaseState:
+        rounds = state.rounds + 1
+        votes = dict(state.votes)
+        decision = state.decision
+        for sender, (kind, payload) in received.items():
+            if kind == "vote":
+                votes[sender] = payload
+            elif kind == "verdict" and decision is None:
+                decision = payload
+        return replace(state, rounds=rounds, votes=votes, decision=decision)
+
+    def decision_of(self, state: TwoPhaseState) -> Any:
+        return state.decision
+
+    def halted(self, pid: int, state: TwoPhaseState) -> bool:
+        return state.rounds >= 2

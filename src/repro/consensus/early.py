@@ -1,0 +1,193 @@
+"""Early-deciding baselines: the consensus vs uniform consensus gap.
+
+Section 5.1 notes that, unlike in most models, solving consensus in RS
+or RWS does *not* automatically solve uniform consensus.  These two
+algorithms make the gap concrete:
+
+* :class:`EarlyDecidingConsensus` decides as soon as the round number
+  exceeds the number of failures it has observed ("wait out the
+  failures you have seen").  It solves plain consensus and decides in
+  ``f + 1`` rounds (``f`` = actual crashes), but a process can decide
+  on a value it alone has seen and then crash — a uniform agreement
+  violation that exhaustive search exhibits for ``t >= 2``.
+
+* :class:`EarlyDecidingUniformFloodSet` waits for a *clean* round — a
+  round in which it hears from exactly the same set of processes as in
+  the previous round — before deciding.  The extra confirmation round
+  restores uniform agreement at the price of one round (``f + 2``),
+  matching the folklore gap quantified in the companion paper [7].
+
+Both flood their ``W`` sets while undecided and flood ``(D, decision)``
+once decided so laggards adopt the decided value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.consensus.floodset import FloodSetWS
+from repro.rounds.algorithm import RoundAlgorithm, broadcast
+
+DECIDED_TAG = "D"
+
+
+@dataclass(frozen=True)
+class EarlyState:
+    """Shared state shape for both early-deciding variants."""
+
+    rounds: int
+    W: frozenset
+    decision: Any
+    n: int
+    t: int
+    last_senders: frozenset = frozenset()
+    decided_round: int = 0
+
+
+class _EarlyBase(RoundAlgorithm):
+    """Common flooding/adoption machinery of the two variants."""
+
+    def initial_state(self, pid: int, n: int, t: int, value: Any) -> EarlyState:
+        return EarlyState(
+            rounds=0, W=frozenset({value}), decision=None, n=n, t=t
+        )
+
+    def messages(self, pid: int, state: EarlyState) -> Mapping[int, Any]:
+        if state.decision is not None:
+            # One forcing round after deciding, then silence.
+            if state.rounds == state.decided_round:
+                return broadcast((DECIDED_TAG, state.decision), state.n)
+            return {}
+        if state.rounds <= state.t + 1:
+            return broadcast(("W", state.W), state.n)
+        return {}
+
+    def transition(
+        self, pid: int, state: EarlyState, received: Mapping[int, Any]
+    ) -> EarlyState:
+        rounds = state.rounds + 1
+        W = state.W
+        forced = None
+        senders = frozenset(received)
+        for payload in received.values():
+            if payload[0] == DECIDED_TAG:
+                forced = payload[1]
+            else:
+                W = W | payload[1]
+
+        decision = state.decision
+        decided_round = state.decided_round
+        if decision is None:
+            if forced is not None:
+                decision = forced
+                decided_round = rounds
+            elif self._may_decide(rounds, senders, state):
+                decision = min(W)
+                decided_round = rounds
+
+        return replace(
+            state,
+            rounds=rounds,
+            W=W,
+            decision=decision,
+            last_senders=senders,
+            decided_round=decided_round,
+        )
+
+    def _may_decide(
+        self, rounds: int, senders: frozenset, state: EarlyState
+    ) -> bool:
+        raise NotImplementedError
+
+    def decision_of(self, state: EarlyState) -> Any:
+        return state.decision
+
+    def halted(self, pid: int, state: EarlyState) -> bool:
+        # Quiescent one round after deciding (the forcing broadcast done).
+        return state.decision is not None and state.rounds > state.decided_round
+
+
+class EarlyDecidingConsensus(_EarlyBase):
+    """Decide once ``rounds > observed failures``; non-uniform.
+
+    Observed failures are counted as the processes missing from this
+    round's reception.  With ``f`` actual crashes at most ``f``
+    processes are ever missing, so every correct process decides by
+    round ``f + 1``.  Uniform agreement fails for ``t >= 2``: a process
+    can be the *sole* recipient of a crashing process's low value,
+    observe an apparently failure-free round, decide that value early,
+    and crash before relaying it — the survivors then decide without
+    the low value (exhibited mechanically by experiment E14).
+    """
+
+    name = "EarlyConsensus"
+
+    def _may_decide(
+        self, rounds: int, senders: frozenset, state: EarlyState
+    ) -> bool:
+        observed_failures = state.n - len(senders)
+        return observed_failures < rounds
+
+
+class EarlyDecidingUniformFloodSet(_EarlyBase):
+    """Decide on the first *clean* round; uniform, one round slower.
+
+    A round is clean when its sender set equals the previous round's.
+    Deciding requires ``rounds >= 2`` by construction.
+    """
+
+    name = "EarlyUniform"
+
+    def _may_decide(
+        self, rounds: int, senders: frozenset, state: EarlyState
+    ) -> bool:
+        if rounds < 2:
+            return False
+        return senders == state.last_senders
+
+
+class EagerFloodSetWS(RoundAlgorithm):
+    """FloodSetWS with a round-1 no-failure fast path — non-uniform in RWS.
+
+    Decide ``min(W)`` at the end of round 1 when messages from all ``n``
+    processes arrived (no failure observed); otherwise fall back to the
+    FloodSetWS rule at round ``t + 1``.  For ``t = 1`` this solves plain
+    consensus in RWS: a round-1 decider saw every initial value, and its
+    round-2 ``W`` flood carries them to everyone else (round-2 floods
+    from correct processes are never pending).  Uniform agreement fails:
+    a process may see all ``n`` values at round 1 (its own round-1
+    messages pending towards everyone else), decide the global minimum,
+    and crash — the survivors, having halted it, decide without its
+    value.  This is the RWS witness for the Section 5.1 remark that
+    consensus and uniform consensus genuinely differ.
+    """
+
+    name = "EagerFloodSetWS"
+
+    def __init__(self) -> None:
+        self._inner = FloodSetWS()
+
+    def initial_state(self, pid: int, n: int, t: int, value: Any):
+        return self._inner.initial_state(pid, n, t, value)
+
+    def messages(self, pid: int, state) -> Mapping[int, Any]:
+        return self._inner.messages(pid, state)
+
+    def transition(self, pid: int, state, received: Mapping[int, Any]):
+        new_state = self._inner.transition(pid, state, received)
+        if (
+            new_state.rounds == 1
+            and new_state.decision is None
+            and len(received) == state.n
+        ):
+            new_state = replace(new_state, decision=min(new_state.W))
+        return new_state
+
+    def decision_of(self, state) -> Any:
+        return self._inner.decision_of(state)
+
+    def halted(self, pid: int, state) -> bool:
+        # Even a round-1 decider keeps flooding W through round t+1 so
+        # laggards receive every value it saw.
+        return state.rounds > state.t

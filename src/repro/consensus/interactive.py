@@ -1,0 +1,158 @@
+"""Interactive consistency: agreeing on the whole input vector.
+
+The historical ancestor of consensus (Pease–Shostak–Lamport), restricted
+here to the crash model: every process must decide the *vector* of all
+``n`` initial values, with ``None`` marking processes whose value never
+reached anyone.  FloodSet's machinery carries over verbatim — flood
+origin-tagged values for ``t + 1`` rounds, decide the accumulated table
+— and so does its correctness argument (some round is crash-free, after
+which all tables are equal).
+
+Requirements checked by :func:`check_interactive_consistency_run`:
+
+* **Uniform vector agreement** — no two deciders hold different
+  vectors (components included);
+* **Validity** — the component of every *correct* process is its true
+  initial value, and every non-``None`` component is the true value of
+  its owner (no invented values);
+* **Termination** — all correct processes decide.
+
+Consensus is recoverable from interactive consistency by any
+deterministic rule over the vector (e.g. min over non-``None``
+entries) — the reduction :func:`consensus_from_vector` implements it,
+which is also how the test suite cross-checks this module against
+FloodSet itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.consensus.spec import SpecViolation
+from repro.rounds.algorithm import RoundAlgorithm, broadcast
+from repro.rounds.executor import RoundRun
+
+
+@dataclass(frozen=True)
+class InteractiveState:
+    """State: the known ``origin -> value`` table and the decision."""
+
+    rounds: int
+    table: Mapping[int, Any]
+    halt: frozenset
+    decision: Any  # the decided vector (tuple), or None
+    n: int
+    t: int
+
+
+class InteractiveConsistency(RoundAlgorithm):
+    """Vector consensus by origin-tagged flooding (RS)."""
+
+    name = "InteractiveConsistency"
+
+    #: Whether the FloodSetWS halt guard filters late senders (RWS use).
+    use_halt = False
+
+    def initial_state(
+        self, pid: int, n: int, t: int, value: Any
+    ) -> InteractiveState:
+        return InteractiveState(
+            rounds=0,
+            table={pid: value},
+            halt=frozenset(),
+            decision=None,
+            n=n,
+            t=t,
+        )
+
+    def messages(self, pid: int, state: InteractiveState) -> Mapping[int, Any]:
+        if state.rounds <= state.t:
+            return broadcast(dict(state.table), state.n)
+        return {}
+
+    def transition(
+        self, pid: int, state: InteractiveState, received: Mapping[int, Any]
+    ) -> InteractiveState:
+        rounds = state.rounds + 1
+        table = dict(state.table)
+        for sender, remote_table in received.items():
+            if self.use_halt and sender in state.halt:
+                continue
+            table.update(remote_table)
+        halt = state.halt
+        if self.use_halt:
+            halt = halt | frozenset(
+                q for q in range(state.n) if q not in received
+            )
+        decision = state.decision
+        if rounds == state.t + 1 and decision is None:
+            decision = tuple(table.get(i) for i in range(state.n))
+        return replace(
+            state, rounds=rounds, table=table, halt=halt, decision=decision
+        )
+
+    def decision_of(self, state: InteractiveState) -> Any:
+        return state.decision
+
+
+class InteractiveConsistencyWS(InteractiveConsistency):
+    """The RWS-safe variant: halt silences pending-message senders."""
+
+    name = "InteractiveConsistencyWS"
+    use_halt = True
+
+
+def consensus_from_vector(vector: tuple) -> Any:
+    """The classic reduction: consensus = min over known components."""
+    known = [value for value in vector if value is not None]
+    return min(known) if known else None
+
+
+def check_interactive_consistency_run(run: RoundRun) -> list[SpecViolation]:
+    """Check one finished run against the IC specification."""
+    violations: list[SpecViolation] = []
+
+    def flag(clause: str, detail: str) -> None:
+        violations.append(
+            SpecViolation(
+                clause=clause,
+                detail=detail,
+                scenario=run.scenario.describe(),
+                values=run.values,
+            )
+        )
+
+    vectors = {pid: value for pid, (_, value) in run.decisions.items()}
+
+    if len(set(vectors.values())) > 1:
+        flag(
+            "uniform vector agreement",
+            "processes decided different vectors: "
+            + ", ".join(
+                f"p{pid}={vector!r}" for pid, vector in sorted(vectors.items())
+            ),
+        )
+
+    for pid, vector in vectors.items():
+        for origin in range(run.n):
+            component = vector[origin]
+            if origin in run.scenario.correct and component != run.values[origin]:
+                flag(
+                    "validity",
+                    f"p{pid}'s component for correct p{origin} is "
+                    f"{component!r}, expected {run.values[origin]!r}",
+                )
+            elif component is not None and component != run.values[origin]:
+                flag(
+                    "validity",
+                    f"p{pid} invented {component!r} for p{origin}",
+                )
+
+    for pid in run.scenario.correct:
+        if pid not in vectors:
+            flag(
+                "termination",
+                f"correct p{pid} never decided within {run.num_rounds} rounds",
+            )
+    return violations

@@ -1,0 +1,158 @@
+"""Problem specifications for consensus and uniform consensus.
+
+The uniform consensus specification (paper Section 5.1) over a totally
+ordered value set:
+
+* **Uniform validity** — if all processes start with the same value
+  ``v``, then ``v`` is the only possible decision value.
+* **Uniform agreement** — no two processes (correct *or faulty*)
+  decide differently.
+* **Termination** — all correct processes eventually decide.
+
+Plain consensus replaces uniform agreement by agreement among correct
+processes only — the gap between the two is visible in both RS and RWS
+(Section 5.1) and is exercised by experiment E14.
+
+The checkers additionally verify *integrity* (a process decides at most
+once — our executors record the first decision and we confirm the final
+state still carries it) and the stronger, standard validity clause that
+every decision was some process's initial value, which all the paper's
+algorithms satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rounds.executor import RoundRun
+
+
+@dataclass(frozen=True)
+class SpecViolation:
+    """One violated clause on one run."""
+
+    clause: str
+    detail: str
+    scenario: str
+    values: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.clause}] {self.detail} "
+            f"(values={self.values}, scenario={self.scenario})"
+        )
+
+
+def _violation(run: RoundRun, clause: str, detail: str) -> SpecViolation:
+    return SpecViolation(
+        clause=clause,
+        detail=detail,
+        scenario=run.scenario.describe(),
+        values=run.values,
+    )
+
+
+def _common_checks(run: RoundRun, violations: list[SpecViolation]) -> None:
+    """Clauses shared by consensus and uniform consensus."""
+    # Uniform validity.
+    distinct_inputs = set(run.values)
+    if len(distinct_inputs) == 1:
+        only = next(iter(distinct_inputs))
+        for pid, (_, value) in run.decisions.items():
+            if value != only:
+                violations.append(
+                    _violation(
+                        run,
+                        "uniform validity",
+                        f"unanimous input {only!r} but p{pid} decided "
+                        f"{value!r}",
+                    )
+                )
+    # Strong validity (all paper algorithms satisfy it).
+    for pid, (_, value) in run.decisions.items():
+        if value not in run.values:
+            violations.append(
+                _violation(
+                    run,
+                    "validity",
+                    f"p{pid} decided {value!r}, which no process proposed",
+                )
+            )
+    # Termination.
+    for pid in run.scenario.correct:
+        if pid not in run.decisions:
+            violations.append(
+                _violation(
+                    run,
+                    "termination",
+                    f"correct process p{pid} never decided within "
+                    f"{run.num_rounds} rounds",
+                )
+            )
+    # Integrity: the recorded (first) decision must still stand.
+    for pid, (_, value) in run.decisions.items():
+        if pid in run.final_states:
+            # The final state's decision, if readable, must match.
+            final = run.final_states[pid]
+            final_decision = getattr(final, "decision", value)
+            if final_decision is not None and final_decision != value:
+                violations.append(
+                    _violation(
+                        run,
+                        "integrity",
+                        f"p{pid} first decided {value!r} but its final "
+                        f"state says {final_decision!r}",
+                    )
+                )
+
+
+def check_uniform_consensus_run(run: RoundRun) -> list[SpecViolation]:
+    """Check one finished run against the uniform consensus spec."""
+    violations: list[SpecViolation] = []
+    _common_checks(run, violations)
+    decided = {pid: value for pid, (_, value) in run.decisions.items()}
+    distinct = set(decided.values())
+    if len(distinct) > 1:
+        violations.append(
+            _violation(
+                run,
+                "uniform agreement",
+                f"processes decided differently: "
+                + ", ".join(
+                    f"p{pid}={value!r}" for pid, value in sorted(decided.items())
+                ),
+            )
+        )
+    return violations
+
+
+def check_consensus_run(run: RoundRun) -> list[SpecViolation]:
+    """Check one finished run against the (non-uniform) consensus spec."""
+    violations: list[SpecViolation] = []
+    _common_checks(run, violations)
+    correct_decisions = {
+        pid: value
+        for pid, (_, value) in run.decisions.items()
+        if pid in run.scenario.correct
+    }
+    if len(set(correct_decisions.values())) > 1:
+        violations.append(
+            _violation(
+                run,
+                "agreement",
+                "correct processes decided differently: "
+                + ", ".join(
+                    f"p{pid}={value!r}"
+                    for pid, value in sorted(correct_decisions.items())
+                ),
+            )
+        )
+    return violations
+
+
+def check_many(runs, checker=check_uniform_consensus_run) -> list[SpecViolation]:
+    """Apply a run checker to many runs and concatenate the reports."""
+    violations: list[SpecViolation] = []
+    for run in runs:
+        violations.extend(checker(run))
+    return violations

@@ -1,0 +1,322 @@
+"""Emulating the RS round model on the SS step model (Section 4.1).
+
+The paper sketches the emulation: "in each round r, every process p_i
+executes n + k steps of the SS model.  The first n steps are used to
+send real messages whereas in the k last steps, p_i sends null messages
+to make sure that, before moving to round r + 1, p_i receives all
+messages sent to it by other processes in round r (k is a function of
+n, Δ, Φ and r)."
+
+Our instantiation fixes per-round *local-step deadlines* ``S_r``:
+
+    S_0 = 0,    S_r = Φ · (S_{r-1} + n) + Δ + 1
+
+Process ``p_i`` performs round ``r`` during its local steps
+``S_{r-1}+1 .. S_r``; the first ``n - 1`` of them send the round's real
+messages (one send per step — the step model allows a single addressee
+per step, which is why a broadcast costs ``n - 1`` steps), the rest are
+null steps, and the transition fires on the step that reaches ``S_r``.
+
+Why the deadline suffices: an alive sender ``p_j`` finishes its
+round-``r`` sends by its local step ``σ = S_{r-1} + n - 1``.  Process
+synchrony bounds how far ``p_i`` can run ahead — at the global moment
+of ``p_j``'s ``σ``-th step, ``p_i`` has taken at most ``Φ·(σ+1)`` local
+steps.  Message synchrony then delivers within ``Δ`` further global
+steps, during which ``p_i`` takes at most ``Δ`` local steps.  Hence by
+local step ``Φ·(S_{r-1}+n) + Δ + 1 = S_r`` every message an alive peer
+sent in round ``r`` has arrived — which is exactly the *round
+synchrony* property: a missing message implies the sender crashed
+before sending it.  (For ``Φ = 1`` the deadlines grow linearly —
+``n + Δ + 1`` extra steps per round; for larger ``Φ`` they grow
+geometrically, the price of processes drifting apart.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.failures.pattern import FailurePattern
+from repro.models.ss import SSScheduler
+from repro.rounds.algorithm import RoundAlgorithm
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+from repro.simulation.executor import StepExecutor
+from repro.simulation.run import Run
+
+
+def round_deadlines(n: int, phi: int, delta: int, num_rounds: int) -> list[int]:
+    """Return ``[S_1, ..., S_R]``: the local-step deadline of each round."""
+    if n < 2:
+        raise ConfigurationError("emulation needs at least two processes")
+    if phi < 1 or delta < 1:
+        raise ConfigurationError("SS bounds require Φ >= 1 and Δ >= 1")
+    deadlines: list[int] = []
+    previous = 0
+    for _ in range(num_rounds):
+        previous = phi * (previous + n) + delta + 1
+        deadlines.append(previous)
+    return deadlines
+
+
+@dataclass(frozen=True)
+class _EmuState:
+    """Per-process state of the round-on-steps wrapper."""
+
+    round: int  # current round, 1-based
+    local_step: int
+    outbox: tuple[tuple[int, Any], ...]  # (recipient, payload) yet to send
+    inbox: Mapping[int, Mapping[int, Any]]  # round -> sender -> payload
+    algo_state: Any
+    self_payload: Any  # this round's message to self, if any
+    delivered_log: tuple[tuple[int, frozenset[int]], ...]  # (round, senders)
+    decision_round: int | None
+    finished: bool
+
+
+@dataclass
+class EmulatedRoundTrace:
+    """What the emulation produced, in round-model vocabulary."""
+
+    n: int
+    num_rounds: int
+    #: per process: round -> senders whose round messages were used
+    senders_used: dict[int, dict[int, frozenset[int]]]
+    #: per process: (decision round, value) or None
+    decisions: dict[int, tuple[int, Any] | None]
+    #: per process: last round whose transition was applied
+    completed_rounds: dict[int, int]
+    run: Run
+
+
+class RoundOnSSAutomaton(StepAutomaton):
+    """Step automaton executing a round algorithm on SS deadlines."""
+
+    def __init__(
+        self,
+        algorithm: RoundAlgorithm,
+        n: int,
+        t: int,
+        values: Sequence[Any],
+        phi: int,
+        delta: int,
+        num_rounds: int,
+    ) -> None:
+        if len(values) != n:
+            raise ConfigurationError("one initial value per process required")
+        self.algorithm = algorithm
+        self.n = n
+        self.t = t
+        self.values = tuple(values)
+        self.phi = phi
+        self.delta = delta
+        self.num_rounds = num_rounds
+        self.deadlines = round_deadlines(n, phi, delta, num_rounds)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _round_start(self, round_index: int) -> int:
+        """First local step of the given round (1-based rounds)."""
+        return 0 if round_index == 1 else self.deadlines[round_index - 2]
+
+    def _build_outbox(
+        self, pid: int, algo_state: Any
+    ) -> tuple[tuple[tuple[int, Any], ...], Any]:
+        """Split the algorithm's messages into network sends and the
+        self-addressed payload (delivered internally)."""
+        outgoing = self.algorithm.messages(pid, algo_state)
+        sends = tuple(
+            (recipient, payload)
+            for recipient, payload in sorted(outgoing.items())
+            if recipient != pid
+        )
+        return sends, outgoing.get(pid)
+
+    # -- StepAutomaton interface ------------------------------------------------
+
+    def initial_state(self, pid: int, n: int) -> _EmuState:
+        algo_state = self.algorithm.initial_state(
+            pid, self.n, self.t, self.values[pid]
+        )
+        outbox, self_payload = self._build_outbox(pid, algo_state)
+        return _EmuState(
+            round=1,
+            local_step=0,
+            outbox=outbox,
+            inbox={},
+            algo_state=algo_state,
+            self_payload=self_payload,
+            delivered_log=(),
+            decision_round=None,
+            finished=False,
+        )
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: _EmuState = ctx.state
+        local_step = state.local_step + 1
+
+        # Receive phase: file tagged messages into the per-round inbox.
+        inbox: dict[int, dict[int, Any]] = {
+            r: dict(senders) for r, senders in state.inbox.items()
+        }
+        for message in ctx.received:
+            message_round, payload = message.payload
+            inbox.setdefault(message_round, {})[message.sender] = payload
+
+        if state.finished:
+            return StepOutcome(
+                state=replace(state, local_step=local_step, inbox=inbox)
+            )
+
+        # Send phase: one outstanding round message per step.
+        send_to: int | None = None
+        send_payload: Any = None
+        outbox = state.outbox
+        if outbox:
+            (send_to, raw_payload), outbox = outbox[0], outbox[1:]
+            send_payload = (state.round, raw_payload)
+
+        new_state = replace(
+            state, local_step=local_step, inbox=inbox, outbox=outbox
+        )
+
+        # Transition fires exactly on the deadline step.
+        if local_step >= self.deadlines[state.round - 1]:
+            new_state = self._apply_transition(ctx.pid, new_state)
+
+        return StepOutcome(
+            state=new_state, send_to=send_to, payload=send_payload
+        )
+
+    def _apply_transition(self, pid: int, state: _EmuState) -> _EmuState:
+        received = dict(state.inbox.get(state.round, {}))
+        if state.self_payload is not None:
+            received[pid] = state.self_payload
+        algo_state = self.algorithm.transition(pid, state.algo_state, received)
+        decision_round = state.decision_round
+        if (
+            decision_round is None
+            and self.algorithm.decision_of(algo_state) is not None
+        ):
+            decision_round = state.round
+        delivered_log = state.delivered_log + (
+            (state.round, frozenset(received)),
+        )
+        next_round = state.round + 1
+        if next_round > self.num_rounds:
+            return replace(
+                state,
+                algo_state=algo_state,
+                decision_round=decision_round,
+                delivered_log=delivered_log,
+                finished=True,
+            )
+        outbox, self_payload = self._build_outbox(pid, algo_state)
+        return replace(
+            state,
+            round=next_round,
+            algo_state=algo_state,
+            outbox=outbox,
+            self_payload=self_payload,
+            decision_round=decision_round,
+            delivered_log=delivered_log,
+        )
+
+
+def emulate_rs_on_ss(
+    algorithm: RoundAlgorithm,
+    values: Sequence[Any],
+    pattern: FailurePattern,
+    *,
+    t: int,
+    phi: int = 1,
+    delta: int = 1,
+    num_rounds: int | None = None,
+    rng: random.Random | None = None,
+    max_steps: int | None = None,
+) -> EmulatedRoundTrace:
+    """Run a round algorithm on the SS step kernel and lift the trace.
+
+    The failure pattern is expressed in *global step* time, giving crash
+    placements the step-level granularity the round model abstracts
+    away (a crash between two send steps of the same round is exactly
+    the round model's "crashed in the middle of a broadcast").
+    """
+    n = len(values)
+    rounds = num_rounds if num_rounds is not None else t + 2
+    automaton = RoundOnSSAutomaton(
+        algorithm, n, t, values, phi, delta, rounds
+    )
+    deadline = automaton.deadlines[-1]
+    horizon = (
+        max_steps
+        if max_steps is not None
+        else (deadline + 2) * n * (phi + 1)
+    )
+    scheduler = SSScheduler(phi, delta, rng=rng)
+    executor = StepExecutor(automaton, n, pattern, scheduler)
+
+    def everyone_finished(states: Mapping[int, _EmuState]) -> bool:
+        return all(
+            states[pid].finished
+            for pid in range(n)
+            if pid in pattern.correct
+        )
+
+    run = executor.execute(horizon, stop_when=everyone_finished)
+
+    senders_used: dict[int, dict[int, frozenset[int]]] = {}
+    decisions: dict[int, tuple[int, Any] | None] = {}
+    completed: dict[int, int] = {}
+    for pid in range(n):
+        state: _EmuState = run.final_states[pid]
+        senders_used[pid] = {r: senders for r, senders in state.delivered_log}
+        completed[pid] = max(
+            (r for r, _ in state.delivered_log), default=0
+        )
+        decision_value = algorithm.decision_of(state.algo_state)
+        if state.decision_round is not None and decision_value is not None:
+            decisions[pid] = (state.decision_round, decision_value)
+        else:
+            decisions[pid] = None
+        if pid in pattern.correct and not state.finished:
+            raise ExecutionError(
+                f"correct process {pid} did not finish {rounds} rounds "
+                f"within {horizon} steps"
+            )
+    return EmulatedRoundTrace(
+        n=n,
+        num_rounds=rounds,
+        senders_used=senders_used,
+        decisions=decisions,
+        completed_rounds=completed,
+        run=run,
+    )
+
+
+def check_emulated_round_synchrony(trace: EmulatedRoundTrace) -> list[str]:
+    """Verify round synchrony on an emulated trace.
+
+    For every process ``p_i`` that completed round ``r`` without using a
+    message from ``p_j``: ``p_j`` must never have *sent* a round-``r``
+    message to ``p_i`` (it crashed before that send step).  Sends are
+    read off the underlying step run, so this checks the emulation's
+    deadline arithmetic, not its own bookkeeping.
+    """
+    violations: list[str] = []
+    sent_index: set[tuple[int, int, int]] = set()  # (sender, recipient, round)
+    for message in trace.run.messages.values():
+        message_round, _ = message.payload
+        sent_index.add((message.sender, message.recipient, message_round))
+    for pid, per_round in trace.senders_used.items():
+        for round_index, senders in per_round.items():
+            for peer in range(trace.n):
+                if peer == pid or peer in senders:
+                    continue
+                if (peer, pid, round_index) in sent_index:
+                    violations.append(
+                        f"round {round_index}: p{pid} completed the round "
+                        f"without p{peer}'s message although it was sent"
+                    )
+    return violations

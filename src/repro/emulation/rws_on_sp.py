@@ -1,0 +1,284 @@
+"""Emulating the RWS round model on the SP model (Section 4.2).
+
+The reception rule is the paper's, verbatim: "Process p_i keeps
+executing (possibly null) steps of model SP until, for every process
+p_j, either p_i receives a message from p_j or p_i suspects p_j."
+
+Because the perfect detector's suspicions may race ahead of message
+deliveries, a process can close a round while a message addressed to it
+is still in flight — a *pending* message.  Lemma 4.1 proves the
+emulation nevertheless guarantees weak round synchrony: the sender of a
+pending message crashes by the end of the following round.  Experiment
+E12 validates this mechanically on randomized SP runs, and
+:func:`count_pending_messages` confirms the phenomenon actually occurs
+(the lemma would otherwise hold vacuously).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.failures.detectors import PerfectDetector
+from repro.failures.pattern import FailurePattern
+from repro.models.sp import PerfectFDModel
+from repro.rounds.algorithm import RoundAlgorithm
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+from repro.simulation.executor import StepExecutor
+from repro.simulation.run import Run
+from repro.emulation.rs_on_ss import EmulatedRoundTrace
+
+
+@dataclass(frozen=True)
+class _SPEmuState:
+    """Per-process state of the round-on-SP wrapper."""
+
+    round: int
+    outbox: tuple[tuple[int, Any], ...]
+    inbox: Mapping[int, Mapping[int, Any]]
+    algo_state: Any
+    self_payload: Any
+    delivered_log: tuple[tuple[int, frozenset[int]], ...]
+    decision_round: int | None
+    finished: bool
+
+
+class RoundOnSPAutomaton(StepAutomaton):
+    """Step automaton executing a round algorithm on SP.
+
+    Each round: send the round's messages (one per step), then take
+    null steps until every peer has either delivered its round message
+    or is suspected by the local perfect-detector module; then apply
+    the round transition.
+    """
+
+    def __init__(
+        self,
+        algorithm: RoundAlgorithm,
+        n: int,
+        t: int,
+        values: Sequence[Any],
+        num_rounds: int,
+    ) -> None:
+        if len(values) != n:
+            raise ConfigurationError("one initial value per process required")
+        self.algorithm = algorithm
+        self.n = n
+        self.t = t
+        self.values = tuple(values)
+        self.num_rounds = num_rounds
+
+    def _build_outbox(
+        self, pid: int, algo_state: Any
+    ) -> tuple[tuple[tuple[int, Any], ...], Any]:
+        outgoing = self.algorithm.messages(pid, algo_state)
+        sends = tuple(
+            (recipient, payload)
+            for recipient, payload in sorted(outgoing.items())
+            if recipient != pid
+        )
+        return sends, outgoing.get(pid)
+
+    def initial_state(self, pid: int, n: int) -> _SPEmuState:
+        algo_state = self.algorithm.initial_state(
+            pid, self.n, self.t, self.values[pid]
+        )
+        outbox, self_payload = self._build_outbox(pid, algo_state)
+        return _SPEmuState(
+            round=1,
+            outbox=outbox,
+            inbox={},
+            algo_state=algo_state,
+            self_payload=self_payload,
+            delivered_log=(),
+            decision_round=None,
+            finished=False,
+        )
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: _SPEmuState = ctx.state
+
+        inbox: dict[int, dict[int, Any]] = {
+            r: dict(senders) for r, senders in state.inbox.items()
+        }
+        for message in ctx.received:
+            message_round, payload = message.payload
+            inbox.setdefault(message_round, {})[message.sender] = payload
+
+        if state.finished:
+            return StepOutcome(state=replace(state, inbox=inbox))
+
+        send_to: int | None = None
+        send_payload: Any = None
+        outbox = state.outbox
+        if outbox:
+            (send_to, raw_payload), outbox = outbox[0], outbox[1:]
+            send_payload = (state.round, raw_payload)
+
+        new_state = replace(state, inbox=inbox, outbox=outbox)
+
+        # Round-completion rule (requires all sends done first): every
+        # peer delivered-or-suspected.
+        if not outbox:
+            suspects = ctx.suspects if ctx.suspects is not None else frozenset()
+            heard = inbox.get(state.round, {})
+            if all(
+                peer in heard or peer in suspects
+                for peer in range(self.n)
+                if peer != ctx.pid
+            ):
+                new_state = self._apply_transition(ctx.pid, new_state)
+
+        return StepOutcome(
+            state=new_state, send_to=send_to, payload=send_payload
+        )
+
+    def _apply_transition(self, pid: int, state: _SPEmuState) -> _SPEmuState:
+        received = dict(state.inbox.get(state.round, {}))
+        if state.self_payload is not None:
+            received[pid] = state.self_payload
+        algo_state = self.algorithm.transition(pid, state.algo_state, received)
+        decision_round = state.decision_round
+        if (
+            decision_round is None
+            and self.algorithm.decision_of(algo_state) is not None
+        ):
+            decision_round = state.round
+        delivered_log = state.delivered_log + (
+            (state.round, frozenset(received)),
+        )
+        next_round = state.round + 1
+        if next_round > self.num_rounds:
+            return replace(
+                state,
+                algo_state=algo_state,
+                decision_round=decision_round,
+                delivered_log=delivered_log,
+                finished=True,
+            )
+        outbox, self_payload = self._build_outbox(pid, algo_state)
+        return replace(
+            state,
+            round=next_round,
+            algo_state=algo_state,
+            outbox=outbox,
+            self_payload=self_payload,
+            decision_round=decision_round,
+            delivered_log=delivered_log,
+        )
+
+
+def emulate_rws_on_sp(
+    algorithm: RoundAlgorithm,
+    values: Sequence[Any],
+    pattern: FailurePattern,
+    *,
+    t: int,
+    num_rounds: int | None = None,
+    rng: random.Random | None = None,
+    max_steps: int = 20_000,
+    max_detection_delay: int = 30,
+    delivery_prob: float = 0.5,
+    max_age: int = 60,
+) -> EmulatedRoundTrace:
+    """Run a round algorithm on the SP step kernel and lift the trace.
+
+    The detector history's arbitrary (finite) detection delays and the
+    scheduler's arbitrary (bounded-by-``max_age``) message delays are
+    the two slacks that produce pending messages.
+    """
+    n = len(values)
+    rounds = num_rounds if num_rounds is not None else t + 2
+    automaton = RoundOnSPAutomaton(algorithm, n, t, values, rounds)
+    model = PerfectFDModel(
+        max_detection_delay=max_detection_delay,
+        delivery_prob=delivery_prob,
+        max_age=max_age,
+    )
+    executor = StepExecutor(
+        automaton,
+        n,
+        pattern,
+        model.make_scheduler(rng),
+        history=model.make_history(pattern, horizon=max_steps, rng=rng),
+    )
+
+    def everyone_finished(states: Mapping[int, _SPEmuState]) -> bool:
+        return all(
+            states[pid].finished
+            for pid in range(n)
+            if pid in pattern.correct
+        )
+
+    run = executor.execute(max_steps, stop_when=everyone_finished)
+
+    senders_used: dict[int, dict[int, frozenset[int]]] = {}
+    decisions: dict[int, tuple[int, Any] | None] = {}
+    completed: dict[int, int] = {}
+    for pid in range(n):
+        state: _SPEmuState = run.final_states[pid]
+        senders_used[pid] = {r: senders for r, senders in state.delivered_log}
+        completed[pid] = max((r for r, _ in state.delivered_log), default=0)
+        decision_value = algorithm.decision_of(state.algo_state)
+        if state.decision_round is not None and decision_value is not None:
+            decisions[pid] = (state.decision_round, decision_value)
+        else:
+            decisions[pid] = None
+        if pid in pattern.correct and not state.finished:
+            raise ExecutionError(
+                f"correct process {pid} did not finish {rounds} rounds "
+                f"within {max_steps} SP steps"
+            )
+    return EmulatedRoundTrace(
+        n=n,
+        num_rounds=rounds,
+        senders_used=senders_used,
+        decisions=decisions,
+        completed_rounds=completed,
+        run=run,
+    )
+
+
+def _pending_triples(trace: EmulatedRoundTrace) -> list[tuple[int, int, int]]:
+    """(sender, recipient, round) messages sent but unused by a process
+    that completed the round — the emulation's pending messages."""
+    sent_index: set[tuple[int, int, int]] = set()
+    for message in trace.run.messages.values():
+        message_round, _ = message.payload
+        sent_index.add((message.sender, message.recipient, message_round))
+    pending: list[tuple[int, int, int]] = []
+    for pid, per_round in trace.senders_used.items():
+        for round_index, senders in per_round.items():
+            for peer in range(trace.n):
+                if peer == pid or peer in senders:
+                    continue
+                if (peer, pid, round_index) in sent_index:
+                    pending.append((peer, pid, round_index))
+    return pending
+
+
+def check_emulated_weak_round_synchrony(trace: EmulatedRoundTrace) -> list[str]:
+    """Verify Lemma 4.1 on an emulated trace.
+
+    For every pending message from ``p_j`` at round ``r`` towards a
+    process that completed round ``r``: ``p_j`` crashes by the end of
+    round ``r + 1`` — operationally, ``p_j`` never begins round
+    ``r + 2``, i.e. it completes at most round ``r + 1``.
+    """
+    violations: list[str] = []
+    for sender, recipient, round_index in _pending_triples(trace):
+        if trace.completed_rounds.get(sender, 0) > round_index + 1:
+            violations.append(
+                f"round {round_index}: message p{sender}->p{recipient} was "
+                f"pending, yet p{sender} completed round "
+                f"{trace.completed_rounds[sender]} > {round_index + 1}"
+            )
+    return violations
+
+
+def count_pending_messages(trace: EmulatedRoundTrace) -> int:
+    """How many pending messages the emulation produced (Lemma 4.1 is
+    only interesting when this is occasionally non-zero)."""
+    return len(_pending_triples(trace))

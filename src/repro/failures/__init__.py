@@ -1,0 +1,96 @@
+"""Failure patterns, failure-detector histories, and detector classes.
+
+Implements Sections 2.1, 2.5 and 2.6 of the paper: crash failure
+patterns ``F : T -> 2^Π``, failure-detector histories
+``H : Π × T -> 2^Π``, and the Chandra–Toueg hierarchy of failure
+detectors — most importantly the perfect failure detector ``P`` that
+defines the SP model.  Also provides the timeout-based implementation of
+``P`` on top of the synchronous model (the opening observation of the
+paper's Section 3).
+"""
+
+from repro.failures.pattern import FailurePattern
+from repro.failures.history import (
+    FailureDetectorHistory,
+    TableHistory,
+    FunctionHistory,
+    ConstantHistory,
+)
+from repro.failures.detectors import (
+    FailureDetector,
+    PerfectDetector,
+    EventuallyPerfectDetector,
+    StrongDetector,
+    EventuallyStrongDetector,
+    WeakDetector,
+    EventuallyWeakDetector,
+    QuasiDetector,
+    EventuallyQuasiDetector,
+    DETECTOR_CLASSES,
+)
+from repro.failures.properties import (
+    check_strong_completeness,
+    check_weak_completeness,
+    check_strong_accuracy,
+    check_weak_accuracy,
+    check_eventual_strong_accuracy,
+    check_eventual_weak_accuracy,
+    classify_history,
+    PropertyReport,
+)
+from repro.failures.generators import (
+    crash_free,
+    initially_dead,
+    single_crash,
+    random_pattern,
+    all_patterns,
+)
+from repro.failures.timeout_p import (
+    TimeoutDetectorState,
+    TimeoutPerfectDetector,
+    detection_threshold,
+    history_from_run,
+    detection_delays,
+)
+from repro.failures.reduction import CompletenessReduction, ReductionState
+from repro.failures.timeout_ep import AdaptiveDetectorState, AdaptiveTimeoutDetector
+
+__all__ = [
+    "FailurePattern",
+    "FailureDetectorHistory",
+    "TableHistory",
+    "FunctionHistory",
+    "ConstantHistory",
+    "FailureDetector",
+    "PerfectDetector",
+    "EventuallyPerfectDetector",
+    "StrongDetector",
+    "EventuallyStrongDetector",
+    "WeakDetector",
+    "EventuallyWeakDetector",
+    "QuasiDetector",
+    "EventuallyQuasiDetector",
+    "DETECTOR_CLASSES",
+    "check_strong_completeness",
+    "check_weak_completeness",
+    "check_strong_accuracy",
+    "check_weak_accuracy",
+    "check_eventual_strong_accuracy",
+    "check_eventual_weak_accuracy",
+    "classify_history",
+    "PropertyReport",
+    "crash_free",
+    "initially_dead",
+    "single_crash",
+    "random_pattern",
+    "all_patterns",
+    "TimeoutDetectorState",
+    "TimeoutPerfectDetector",
+    "detection_threshold",
+    "history_from_run",
+    "detection_delays",
+    "CompletenessReduction",
+    "ReductionState",
+    "AdaptiveDetectorState",
+    "AdaptiveTimeoutDetector",
+]

@@ -1,0 +1,91 @@
+"""The Chandra–Toueg weak-to-strong completeness reduction.
+
+Chandra & Toueg (the paper's reference [6]) prove that weak
+completeness can be boosted to strong completeness by gossip, without
+damaging accuracy: every process repeatedly broadcasts its suspicion
+set; a receiver adds the suspicions it hears about and *removes* the
+sender (a process it just heard from is evidently not crash-silent).
+The transformation maps W to S, ◊W to ◊S, and — the case relevant to
+this paper — **Q to P**: a weakly-complete, strongly-accurate detector
+plus reliable gossip behaves like the perfect failure detector.
+
+The construction here follows the step model's one-send-per-step
+discipline: each process cycles through its peers, sending its current
+output suspicion set.  The *input* detector is supplied as the
+executor's failure-detector history (each step's ``ctx.suspects`` is
+the local input module's value); the *output* is the ``suspected``
+field of the automaton state, liftable to a checkable history with
+:func:`repro.failures.timeout_p.history_from_run`.
+
+Note the removal rule is what preserves accuracy: a false input
+suspicion of a live process is eventually cancelled by that process's
+own gossip (the live process keeps sending).  It cannot cancel a true
+suspicion — crashed processes send nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+
+
+@dataclass(frozen=True)
+class ReductionState:
+    """State of the gossip reduction.
+
+    ``suspected`` is the transformed (output) detector's value; the
+    field name matches :class:`~repro.failures.timeout_p.TimeoutDetectorState`
+    so the same history-lifting helpers apply.
+    """
+
+    suspected: frozenset[int] = frozenset()
+    next_target: int = 0
+    local_step: int = 0
+
+
+class CompletenessReduction(StepAutomaton):
+    """Boost weak completeness to strong completeness by gossip.
+
+    Run under any model whose channels are reliable and whose input
+    history has weak completeness.  The output (``state.suspected``)
+    then has strong completeness; accuracy properties of the input are
+    preserved (strong accuracy in particular, giving Q -> P).
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def initial_state(self, pid: int, n: int) -> ReductionState:
+        return ReductionState()
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: ReductionState = ctx.state
+        suspected = set(state.suspected)
+
+        # 1. Adopt the local input module's current suspicions.
+        if ctx.suspects is not None:
+            suspected |= ctx.suspects
+
+        # 2. Merge gossiped suspicions; 3. clear senders we heard from.
+        for message in ctx.received:
+            suspected |= set(message.payload)
+        for message in ctx.received:
+            suspected.discard(message.sender)
+
+        # Never suspect oneself (a live process querying its own module).
+        suspected.discard(ctx.pid)
+
+        peers = [q for q in range(self.n) if q != ctx.pid]
+        target = peers[state.next_target % len(peers)]
+        new_state = replace(
+            state,
+            suspected=frozenset(suspected),
+            next_target=(state.next_target + 1) % len(peers),
+            local_step=state.local_step + 1,
+        )
+        return StepOutcome(
+            state=new_state,
+            send_to=target,
+            payload=frozenset(suspected),
+        )

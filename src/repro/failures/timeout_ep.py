@@ -1,0 +1,111 @@
+"""Adaptive timeouts implement ◊P under partial synchrony.
+
+The paper's introduction: "In the system models of [12], time-out
+mechanisms can also be used to implement an eventual perfect failure
+detector".  The classic construction: heartbeats plus a *per-peer
+adaptive timeout* that grows every time a suspicion is refuted by a
+late message.  Before the system stabilises the detector may suspect
+live processes; each mistake permanently lengthens that peer's
+timeout, so once the (unknown) global stabilisation time has passed and
+the real bounds hold, timeouts eventually exceed the true inter-
+heartbeat gap and false suspicions stop — *eventual* strong accuracy.
+Completeness is as for the perfect-detector construction: the crashed
+stay silent and silence crosses any timeout.
+
+Run :class:`AdaptiveTimeoutDetector` under
+:class:`~repro.models.partial_synchrony.PartiallySynchronousModel` and
+lift the output with
+:func:`~repro.failures.timeout_p.history_from_run`; experiment-grade
+checks live in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+
+
+@dataclass(frozen=True)
+class AdaptiveDetectorState:
+    """State of the adaptive heartbeat/timeout module.
+
+    The field names mirror
+    :class:`~repro.failures.timeout_p.TimeoutDetectorState` (in
+    particular ``suspected``) so the same history-lifting helpers work.
+    """
+
+    last_heard: Mapping[int, int] = field(default_factory=dict)
+    timeouts: Mapping[int, int] = field(default_factory=dict)
+    suspected: frozenset[int] = frozenset()
+    next_target: int = 0
+    local_step: int = 0
+
+
+class AdaptiveTimeoutDetector(StepAutomaton):
+    """Heartbeats + per-peer growing timeouts: ◊P without known bounds.
+
+    Args:
+        n: Number of processes.
+        initial_timeout: Starting silence tolerance, in local steps.
+            Deliberately small defaults make pre-stabilisation mistakes
+            (and hence the *eventual* in ◊P) observable.
+        backoff: Added to a peer's timeout whenever a suspicion of it
+            is refuted.
+    """
+
+    def __init__(
+        self, n: int, initial_timeout: int = 4, backoff: int = 4
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("detector needs at least 2 processes")
+        if initial_timeout < 1 or backoff < 1:
+            raise ConfigurationError(
+                "initial_timeout and backoff must be >= 1"
+            )
+        self.n = n
+        self.initial_timeout = initial_timeout
+        self.backoff = backoff
+
+    def initial_state(self, pid: int, n: int) -> AdaptiveDetectorState:
+        peers = [q for q in range(n) if q != pid]
+        return AdaptiveDetectorState(
+            last_heard={q: 0 for q in peers},
+            timeouts={q: self.initial_timeout for q in peers},
+        )
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: AdaptiveDetectorState = ctx.state
+        local_step = state.local_step + 1
+        last_heard = dict(state.last_heard)
+        timeouts = dict(state.timeouts)
+        suspected = set(state.suspected)
+
+        for message in ctx.received:
+            sender = message.sender
+            last_heard[sender] = local_step
+            if sender in suspected:
+                # A refuted suspicion: trust again, back off the timer.
+                suspected.discard(sender)
+                timeouts[sender] = timeouts[sender] + self.backoff
+
+        for peer, heard in last_heard.items():
+            if local_step - heard > timeouts[peer]:
+                suspected.add(peer)
+
+        peers = [q for q in range(self.n) if q != ctx.pid]
+        target = peers[state.next_target % len(peers)]
+        return StepOutcome(
+            state=replace(
+                state,
+                last_heard=last_heard,
+                timeouts=timeouts,
+                suspected=frozenset(suspected),
+                next_target=(state.next_target + 1) % len(peers),
+                local_step=local_step,
+            ),
+            send_to=target,
+            payload="heartbeat",
+        )

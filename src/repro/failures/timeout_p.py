@@ -1,0 +1,177 @@
+"""Timeout-based implementation of the perfect failure detector on SS.
+
+Section 3 of the paper opens with the observation that in the
+synchronous model "a simple time-out mechanism with time-out periods
+that depend on the Δ and Φ bounds" implements a perfect failure
+detector.  This module makes that observation executable.
+
+The construction, adapted to the paper's one-send-per-step semantics:
+
+* every process cycles through the other ``n-1`` processes, sending one
+  heartbeat per step;
+* process ``p`` suspects ``q`` once ``p`` has taken more than
+  ``(n-1)·(Φ+1) + Δ`` steps without receiving a heartbeat from ``q``.
+
+Why the threshold is safe (strong accuracy): while ``q`` is alive, any
+window in which ``p`` takes ``(n-1)·(Φ+1)`` steps contains, by process
+synchrony, at least ``n-1`` steps of ``q`` — hence at least one
+heartbeat addressed to ``p``.  By message synchrony that heartbeat
+reaches ``p`` within ``Δ`` further global steps, during which ``p``
+takes at most ``Δ`` steps.  So an alive ``q`` is heard from at least
+every ``(n-1)·(Φ+1) + Δ`` of ``p``'s steps and is never suspected.
+
+Strong completeness is immediate: after ``q`` crashes it sends nothing,
+so ``p``'s silence counter crosses any finite threshold.
+
+For ``n = 2`` the threshold specialises to ``Φ + 1 + Δ`` — exactly the
+detection bound the paper quotes when discussing SDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.failures.history import FailureDetectorHistory, TableHistory
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.run import Run
+
+
+def detection_threshold(n: int, phi: int, delta: int) -> int:
+    """Steps of silence after which suspicion is sound in SS.
+
+    Returns ``(n-1)·(Φ+1) + Δ``; see the module docstring for the
+    derivation.
+    """
+    if n < 2:
+        raise ConfigurationError("timeout detector needs at least 2 processes")
+    if phi < 1 or delta < 1:
+        raise ConfigurationError("SS bounds require Φ >= 1 and Δ >= 1")
+    return (n - 1) * (phi + 1) + delta
+
+
+@dataclass(frozen=True)
+class TimeoutDetectorState:
+    """Local state of the heartbeat/timeout module.
+
+    Attributes:
+        last_heard: For each peer, the local step at which a heartbeat
+            was last received (0 = never; every process starts with an
+            implicit grace period of one full threshold).
+        suspected: Peers currently suspected.
+        next_target: Round-robin pointer for heartbeat destinations.
+        local_step: Steps taken so far.
+    """
+
+    last_heard: dict[int, int] = field(default_factory=dict)
+    suspected: frozenset[int] = frozenset()
+    next_target: int = 0
+    local_step: int = 0
+
+
+class TimeoutPerfectDetector(StepAutomaton):
+    """Step automaton realising ``P`` on an SS-conforming schedule.
+
+    Run it under an SS scheduler (:mod:`repro.models.ss`) and read each
+    process's ``suspected`` set as the detector output.  On schedules
+    that honour the Φ/Δ bounds the induced history satisfies strong
+    completeness and strong accuracy (verified mechanically in the test
+    suite and in experiment E13).
+    """
+
+    def __init__(self, n: int, phi: int, delta: int) -> None:
+        self.n = n
+        self.phi = phi
+        self.delta = delta
+        self.threshold = detection_threshold(n, phi, delta)
+
+    def initial_state(self, pid: int, n: int) -> TimeoutDetectorState:
+        return TimeoutDetectorState(
+            last_heard={q: 0 for q in range(n) if q != pid},
+        )
+
+    def _peers(self, pid: int) -> list[int]:
+        return [q for q in range(self.n) if q != pid]
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: TimeoutDetectorState = ctx.state
+        local_step = state.local_step + 1
+
+        last_heard = dict(state.last_heard)
+        for message in ctx.received:
+            if message.payload == "heartbeat":
+                last_heard[message.sender] = local_step
+
+        suspected = set(state.suspected)
+        for peer, heard in last_heard.items():
+            if local_step - heard > self.threshold:
+                suspected.add(peer)
+
+        peers = self._peers(ctx.pid)
+        target = peers[state.next_target % len(peers)]
+        new_state = replace(
+            state,
+            last_heard=last_heard,
+            suspected=frozenset(suspected),
+            next_target=(state.next_target + 1) % len(peers),
+            local_step=local_step,
+        )
+        return StepOutcome(state=new_state, send_to=target, payload="heartbeat")
+
+
+def history_from_run(run: "Run") -> FailureDetectorHistory:
+    """Lift the detector output of a timeout-detector run into a history.
+
+    Requires the run to have been executed with ``record_states=True``:
+    the suspicion set of process ``p`` at time ``t`` is read off the
+    state snapshot of ``p``'s most recent step at or before ``t``
+    (empty before its first step).  The resulting
+    :class:`~repro.failures.history.FailureDetectorHistory` can be fed
+    to the axiom checkers of :mod:`repro.failures.properties` — this is
+    how experiment E13 verifies that timeouts implement ``P`` on SS.
+    """
+    if run.state_snapshots is None:
+        raise ConfigurationError(
+            "history_from_run needs a run recorded with record_states=True"
+        )
+    table: dict[tuple[int, int], frozenset[int]] = {}
+    current: dict[int, frozenset[int]] = {
+        pid: frozenset() for pid in range(run.n)
+    }
+    for step, state in zip(run.schedule, run.state_snapshots):
+        current[step.pid] = frozenset(state.suspected)
+        for pid in range(run.n):
+            table[(pid, step.time)] = current[pid]
+    return TableHistory(table)
+
+
+def detection_delays(run: "Run") -> dict[tuple[int, int], int | None]:
+    """Measure, per (observer, crashed) pair, the detection delay.
+
+    The delay is the number of *observer* steps between the crash time
+    and the observer's first step whose state suspects the crashed
+    process; ``None`` when detection never happened within the run
+    (e.g. the observer itself crashed first).
+    """
+    if run.state_snapshots is None:
+        raise ConfigurationError(
+            "detection_delays needs a run recorded with record_states=True"
+        )
+    delays: dict[tuple[int, int], int | None] = {}
+    for crashed, crash_time in run.pattern.crash_times.items():
+        for observer in range(run.n):
+            if observer == crashed:
+                continue
+            delays[(observer, crashed)] = None
+            steps_since_crash = 0
+            for step, state in zip(run.schedule, run.state_snapshots):
+                if step.pid != observer or step.time < crash_time:
+                    continue
+                steps_since_crash += 1
+                if crashed in state.suspected:
+                    delays[(observer, crashed)] = steps_since_crash
+                    break
+    return delays

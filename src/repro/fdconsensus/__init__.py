@@ -1,0 +1,45 @@
+"""Consensus in the asynchronous model with unreliable failure detectors.
+
+The paper's second family of models comes from Chandra & Toueg's
+failure-detector approach (reference [6]); its flagship algorithm is
+the rotating-coordinator consensus for **◊S** — the *weakest* detector
+for consensus — tolerating ``t < n/2`` crashes in a fully asynchronous
+system.  This package implements it on the step kernel, completing the
+library's coverage of the approach the paper compares against: where
+Sections 4–5 study the *strongest* detector (P, via RWS), this module
+exercises the hierarchy's other end, including the pre-stabilisation
+phase where the detector lies.
+
+The algorithm (one asynchronous round = four phases):
+
+1. every process sends its timestamped estimate to the round's
+   coordinator (``c = r mod n``);
+2. the coordinator collects a majority of estimates and proposes the
+   one with the highest timestamp;
+3. each process waits for the proposal *or* a suspicion of the
+   coordinator, answering ACK (adopting the proposal, timestamping it
+   with the round) or NACK;
+4. on a majority of ACKs the coordinator reliably broadcasts DECIDE;
+   received decisions are relayed before being adopted, which is what
+   makes agreement *uniform*.
+
+Safety is quorum intersection: a decided value is locked in a majority
+of timestamps, so every later coordinator's majority snapshot contains
+it with maximal timestamp.  Liveness needs ◊S's eventual weak accuracy:
+after stabilisation some correct process is never suspected, and the
+first round it coordinates decides.
+"""
+
+from repro.fdconsensus.chandra_toueg import (
+    ChandraTouegConsensus,
+    CTState,
+    ct_decisions,
+    run_ct_consensus,
+)
+
+__all__ = [
+    "ChandraTouegConsensus",
+    "CTState",
+    "ct_decisions",
+    "run_ct_consensus",
+]

@@ -1,0 +1,47 @@
+"""System models: asynchronous, SS (synchronous), SP (async + P).
+
+Following the paper's Section 2, a system model "determines the set of
+runs that algorithms can produce in the model".  Concretely each model
+here provides
+
+* a *scheduler factory* that only generates admissible runs of the
+  model, and
+* a *validator* that checks an arbitrary run against the model's
+  conditions (used to cross-check the schedulers and in tests).
+
+The synchronous conditions of SS — process synchrony (Φ) and message
+synchrony (Δ) — are stated purely on schedule indices, exactly as in
+the paper (after Dolev–Dwork–Stockmeyer), never on wall-clock time.
+"""
+
+from repro.models.base import SystemModel
+from repro.models.asynchronous import AsynchronousModel, check_admissible_prefix
+from repro.models.ss import (
+    SynchronousModel,
+    SSScheduler,
+    check_process_synchrony,
+    check_message_synchrony,
+    validate_ss_run,
+)
+from repro.models.sp import PerfectFDModel, validate_sp_run
+from repro.models.partial_synchrony import (
+    PartiallySynchronousModel,
+    GSTScheduler,
+    validate_post_gst,
+)
+
+__all__ = [
+    "SystemModel",
+    "AsynchronousModel",
+    "check_admissible_prefix",
+    "SynchronousModel",
+    "SSScheduler",
+    "check_process_synchrony",
+    "check_message_synchrony",
+    "validate_ss_run",
+    "PerfectFDModel",
+    "validate_sp_run",
+    "PartiallySynchronousModel",
+    "GSTScheduler",
+    "validate_post_gst",
+]

@@ -1,0 +1,75 @@
+"""The asynchronous model (paper Section 2.3).
+
+Admissibility on infinite runs requires: (1) every correct process takes
+infinitely many steps, (2) crashed processes take no steps, and (3)
+every message sent to a correct process is eventually received.  On the
+finite prefixes we execute, (1) and (3) are *liveness* conditions and
+can only be checked as diagnostics: the validator reports correct
+processes that are starved at the end of the prefix, and messages to
+correct processes still undelivered.  Condition (2) is safety and is
+checked exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.models.base import SystemModel
+from repro.simulation.run import Run
+from repro.simulation.schedulers import RandomScheduler, Scheduler
+
+
+def check_admissible_prefix(
+    run: Run,
+    *,
+    require_delivery: bool = False,
+) -> list[str]:
+    """Check the safety part of admissibility; optionally the liveness part.
+
+    Args:
+        run: The run prefix to check.
+        require_delivery: When True, also report messages to correct
+            processes that remained undelivered at the end of the
+            prefix.  This turns a liveness condition into a
+            horizon-relative diagnostic; use it when the horizon was
+            chosen long enough for all deliveries.
+
+    Returns:
+        A list of violation descriptions, empty when the prefix is
+        consistent with an admissible run.
+    """
+    violations: list[str] = []
+    for step in run.schedule:
+        if not run.pattern.is_alive(step.pid, step.time):
+            violations.append(
+                f"crashed process {step.pid} took step {step.index} "
+                f"at time {step.time}"
+            )
+    if require_delivery:
+        for message in run.undelivered_to_correct():
+            violations.append(
+                f"message {message.uid} ({message.sender}->"
+                f"{message.recipient}) to a correct process was never "
+                "delivered within the prefix"
+            )
+    return violations
+
+
+class AsynchronousModel(SystemModel):
+    """The plain asynchronous model: no bounds, no detector."""
+
+    name = "async"
+
+    def __init__(self, delivery_prob: float = 0.6, max_age: int | None = 40) -> None:
+        self.delivery_prob = delivery_prob
+        self.max_age = max_age
+
+    def make_scheduler(self, rng: random.Random | None = None) -> Scheduler:
+        if rng is None:
+            rng = random.Random(0)
+        return RandomScheduler(
+            rng, delivery_prob=self.delivery_prob, max_age=self.max_age
+        )
+
+    def validate(self, run: Run) -> list[str]:
+        return check_admissible_prefix(run)

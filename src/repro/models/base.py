@@ -1,0 +1,66 @@
+"""The abstract system model interface."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.failures.history import FailureDetectorHistory
+from repro.failures.pattern import FailurePattern
+from repro.simulation.automaton import StepAutomaton
+from repro.simulation.executor import StepExecutor
+from repro.simulation.run import Run
+from repro.simulation.schedulers import Scheduler
+
+
+class SystemModel(ABC):
+    """A system model in the sense of the paper's Section 2.
+
+    A model is a recipe for producing admissible runs (scheduler +
+    optional failure-detector history) together with a validator that
+    decides whether a given run is admissible in the model.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def make_scheduler(self, rng: random.Random | None = None) -> Scheduler:
+        """Return a fresh scheduler producing admissible runs."""
+
+    def make_history(
+        self,
+        pattern: FailurePattern,
+        *,
+        horizon: int = 1_000,
+        rng: random.Random | None = None,
+    ) -> FailureDetectorHistory | None:
+        """Return the detector history for a run, or ``None``.
+
+        The default is ``None``: models without failure detectors.
+        """
+        return None
+
+    @abstractmethod
+    def validate(self, run: Run) -> list[str]:
+        """Return a list of model-condition violations (empty if none)."""
+
+    def executor(
+        self,
+        automata: StepAutomaton | Sequence[StepAutomaton],
+        n: int,
+        pattern: FailurePattern,
+        *,
+        rng: random.Random | None = None,
+        horizon: int = 1_000,
+        record_states: bool = False,
+    ) -> StepExecutor:
+        """Build a ready-to-run executor for this model."""
+        return StepExecutor(
+            automata,
+            n,
+            pattern,
+            self.make_scheduler(rng),
+            history=self.make_history(pattern, horizon=horizon, rng=rng),
+            record_states=record_states,
+        )

@@ -1,0 +1,196 @@
+"""Partial synchrony: the Dwork–Lynch–Stockmeyer middle ground.
+
+The paper's introduction situates SS and the asynchronous model at the
+two ends of the timing spectrum and notes that in the *partially
+synchronous* models of [12], "time-out mechanisms can also be used to
+implement an eventual perfect failure detector".  This module supplies
+the substrate for reproducing that remark: a model whose runs respect
+the Φ/Δ synchrony conditions only from an unknown **global
+stabilisation time (GST)** onwards.  Before GST the scheduler is fully
+asynchronous (arbitrary interleaving and delays); after it, the SS
+bounds hold for the remaining suffix.
+
+The companion detector lives in
+:mod:`repro.failures.timeout_ep`: an adaptive-timeout heartbeat module
+whose per-peer timeouts grow on every refuted suspicion, so that after
+GST false suspicions die out — eventually perfect (◊P).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.models.base import SystemModel
+from repro.models.ss import SSScheduler, check_message_synchrony, check_process_synchrony
+from repro.simulation.run import Run
+from repro.simulation.schedule import Schedule
+from repro.simulation.schedulers import (
+    RandomScheduler,
+    Scheduler,
+    SchedulerView,
+    StepChoice,
+)
+
+
+class GSTScheduler(Scheduler):
+    """Asynchronous before GST, SS-admissible after.
+
+    Message-delay handling at the boundary: once the global step index
+    reaches ``gst``, delivery deadlines are computed as if every older
+    message had been sent at GST, so the Δ bound holds for the suffix
+    without rewriting history.
+    """
+
+    def __init__(
+        self,
+        phi: int,
+        delta: int,
+        gst: int,
+        rng: random.Random | None = None,
+        pre_gst_delivery_prob: float = 0.3,
+    ) -> None:
+        if gst < 0:
+            raise ConfigurationError("GST must be non-negative")
+        self.gst = gst
+        self._rng = rng if rng is not None else random.Random(0)
+        self._chaos = RandomScheduler(
+            self._rng,
+            delivery_prob=pre_gst_delivery_prob,
+            max_age=None,  # no delivery bound before GST
+        )
+        self._ss = SSScheduler(phi, delta, rng=self._rng)
+        self.delta = delta
+
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        if view.time < self.gst:
+            return self._chaos.choose(view)
+        # Post-GST: delegate interleaving to the SS scheduler, but widen
+        # delivery to treat pre-GST messages as sent at GST.
+        choice = self._ss.choose(view)
+        if choice is None or choice.deliver_uids is None:
+            return choice
+        deliver = set(choice.deliver_uids)
+        for message in view.buffered(choice.pid):
+            effective_sent = max(message.sent_step, self.gst)
+            if view.time - effective_sent >= self.delta:
+                deliver.add(message.uid)
+        return StepChoice(pid=choice.pid, deliver_uids=frozenset(deliver))
+
+
+def validate_post_gst(run: Run, phi: int, delta: int, gst: int) -> list[str]:
+    """Check the SS conditions on the post-GST suffix of a run.
+
+    Process synchrony is checked over windows lying entirely after GST;
+    message synchrony over messages sent (or still undelivered) after
+    GST, with pre-GST messages deemed sent at GST.
+    """
+    suffix = Schedule(n=run.n)
+    offset = None
+    for step in run.schedule:
+        if step.time < gst:
+            continue
+        if offset is None:
+            offset = step.index
+        # Re-index the suffix so window arithmetic starts at zero; the
+        # kernel keeps time == index, so times shift identically.
+        suffix.append(
+            type(step)(
+                index=step.index - offset,
+                time=step.time - offset,
+                pid=step.pid,
+                received_uids=step.received_uids,
+                sent_uid=step.sent_uid,
+                sent_to=step.sent_to,
+                local_step=step.local_step,
+                suspects=step.suspects,
+            )
+        )
+    if offset is None:
+        return []  # nothing executed after GST
+
+    # Messages already delivered before GST impose no suffix obligation.
+    delivered_pre_gst: set[int] = set()
+    for step in run.schedule:
+        if step.time < gst:
+            delivered_pre_gst.update(step.received_uids)
+    # Message synchrony in the suffix frame: pre-GST sends count as
+    # sent at GST (suffix index 0).
+    shifted_messages = {}
+    for uid, message in run.messages.items():
+        if uid in delivered_pre_gst:
+            continue
+        shifted_messages[uid] = type(message)(
+            uid=message.uid,
+            sender=message.sender,
+            recipient=message.recipient,
+            payload=message.payload,
+            sent_step=max(message.sent_step - offset, 0),
+        )
+    # Crash times move to the suffix frame as well (clamped at zero for
+    # pre-GST crashes: dead from the suffix's start).
+    from repro.failures.pattern import FailurePattern
+
+    shifted_pattern = FailurePattern.with_crashes(
+        run.n,
+        {
+            pid: max(crash_time - offset, 0)
+            for pid, crash_time in run.pattern.crash_times.items()
+        },
+    )
+    suffix_run = Run(
+        n=run.n,
+        pattern=shifted_pattern,
+        schedule=suffix,
+        initial_states={},
+        final_states={},
+        messages=shifted_messages,
+        undelivered=run.undelivered,
+        history=run.history,
+    )
+    violations = check_process_synchrony(suffix_run, phi)
+    violations.extend(check_message_synchrony(suffix_run, delta))
+    return violations
+
+
+class PartiallySynchronousModel(SystemModel):
+    """Asynchrony until GST, then the SS bounds hold forever."""
+
+    name = "partial-synchrony"
+
+    def __init__(
+        self,
+        phi: int = 1,
+        delta: int = 1,
+        gst: int = 50,
+        pre_gst_delivery_prob: float = 0.3,
+    ) -> None:
+        if phi < 1 or delta < 1:
+            raise ConfigurationError("bounds require Φ >= 1 and Δ >= 1")
+        if gst < 0:
+            raise ConfigurationError("GST must be non-negative")
+        self.phi = phi
+        self.delta = delta
+        self.gst = gst
+        self.pre_gst_delivery_prob = pre_gst_delivery_prob
+
+    def make_scheduler(self, rng: random.Random | None = None) -> Scheduler:
+        return GSTScheduler(
+            self.phi,
+            self.delta,
+            self.gst,
+            rng=rng,
+            pre_gst_delivery_prob=self.pre_gst_delivery_prob,
+        )
+
+    def validate(self, run: Run) -> list[str]:
+        violations = []
+        for step in run.schedule:
+            if not run.pattern.is_alive(step.pid, step.time):
+                violations.append(
+                    f"crashed process {step.pid} took step {step.index}"
+                )
+        violations.extend(
+            validate_post_gst(run, self.phi, self.delta, self.gst)
+        )
+        return violations

@@ -1,0 +1,87 @@
+"""The SP model: asynchrony + perfect failure detector (Section 2.6).
+
+Runs in SP are asynchronous runs in which every step additionally
+queries a history of the perfect detector ``P``.  The crucial point the
+paper builds on: ``P`` constrains *what* is reported (crashed processes,
+eventually; never live ones) but not *when* — detection delays are
+finite yet unbounded, and message delays remain arbitrary.  Both slacks
+are exercised by the randomized scheduler/history used here, and both
+are exactly what the SDD impossibility (Theorem 3.1) exploits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.failures.detectors import PerfectDetector
+from repro.failures.history import FailureDetectorHistory
+from repro.failures.pattern import FailurePattern
+from repro.failures.properties import (
+    check_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.models.asynchronous import check_admissible_prefix
+from repro.models.base import SystemModel
+from repro.simulation.run import Run
+from repro.simulation.schedulers import RandomScheduler, Scheduler
+
+
+def validate_sp_run(run: Run, *, completeness_horizon: int | None = None) -> list[str]:
+    """Validate an SP run: async safety + perfect-detector axioms.
+
+    Strong accuracy is checked over the whole executed prefix; strong
+    completeness (a liveness property) is checked at
+    ``completeness_horizon`` when given (the history must have caught
+    every crash by then).
+    """
+    violations = check_admissible_prefix(run)
+    if run.history is None:
+        violations.append("SP run has no failure-detector history")
+        return violations
+    horizon = len(run.schedule)
+    if not check_strong_accuracy(run.history, run.pattern, horizon):
+        violations.append(
+            "history violates strong accuracy (suspected a live process)"
+        )
+    if completeness_horizon is not None and not check_strong_completeness(
+        run.history, run.pattern, completeness_horizon
+    ):
+        violations.append(
+            "history violates strong completeness at the given horizon"
+        )
+    return violations
+
+
+class PerfectFDModel(SystemModel):
+    """Asynchronous model augmented with the perfect failure detector."""
+
+    name = "SP"
+
+    def __init__(
+        self,
+        max_detection_delay: int = 50,
+        delivery_prob: float = 0.6,
+        max_age: int | None = 40,
+    ) -> None:
+        self.detector = PerfectDetector(max_delay=max_detection_delay)
+        self.delivery_prob = delivery_prob
+        self.max_age = max_age
+
+    def make_scheduler(self, rng: random.Random | None = None) -> Scheduler:
+        if rng is None:
+            rng = random.Random(0)
+        return RandomScheduler(
+            rng, delivery_prob=self.delivery_prob, max_age=self.max_age
+        )
+
+    def make_history(
+        self,
+        pattern: FailurePattern,
+        *,
+        horizon: int = 1_000,
+        rng: random.Random | None = None,
+    ) -> FailureDetectorHistory:
+        return self.detector.history(pattern, horizon=horizon, rng=rng)
+
+    def validate(self, run: Run) -> list[str]:
+        return validate_sp_run(run)

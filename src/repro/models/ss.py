@@ -1,0 +1,210 @@
+"""The synchronous model SS (paper Section 2.4).
+
+SS is parameterised by two constants ``Φ >= 1`` and ``Δ >= 1``:
+
+* **Process synchrony.**  In any finite subsequence of consecutive
+  steps in which some process takes ``Φ+1`` steps, every process still
+  alive at the end of the subsequence has taken at least one step.
+* **Message synchrony.**  If message ``m`` is sent to ``p_i`` during
+  the ``k``-th step (of the global schedule) and ``p_i`` takes the
+  ``l``-th step with ``l >= k + Δ``, then ``m`` is received by the end
+  of the ``l``-th step.
+
+Both conditions speak only about schedule *indices*; they never mention
+real time.  This module provides exact validators for both conditions
+and a randomized scheduler that provably never violates them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.models.base import SystemModel
+from repro.simulation.run import Run
+from repro.simulation.schedulers import Scheduler, SchedulerView, StepChoice
+
+
+def check_process_synchrony(run: Run, phi: int) -> list[str]:
+    """Exactly check the Φ process-synchrony condition on a run prefix.
+
+    For every process ``q`` we look at the maximal index intervals that
+    contain no step of ``q``; within the portion of such an interval
+    during which ``q`` is alive, no other process may take ``Φ+1``
+    steps.  (A window in which ``q`` steps, or at whose end ``q`` is
+    crashed, imposes no constraint on ``q``.)
+    """
+    violations: list[str] = []
+    length = len(run.schedule)
+    for q in range(run.n):
+        q_indices = [s.index for s in run.schedule if s.pid == q]
+        # Gap boundaries: intervals of indices strictly between q's steps,
+        # plus the prefix before its first step and the suffix after its
+        # last one.
+        boundaries = [-1] + q_indices + [length]
+        crash = run.pattern.crash_time(q)
+        for left, right in zip(boundaries, boundaries[1:]):
+            gap_start = left + 1
+            gap_end = right  # exclusive
+            if crash is not None:
+                # q must be alive at the end of the window: the window can
+                # only extend to indices (times) strictly before the crash.
+                gap_end = min(gap_end, crash)
+            if gap_end - gap_start <= phi:
+                continue  # too short for anyone to take Φ+1 steps
+            counts: dict[int, int] = {}
+            for step in run.schedule.steps_in_window(gap_start, gap_end):
+                counts[step.pid] = counts.get(step.pid, 0) + 1
+                if counts[step.pid] == phi + 1:
+                    violations.append(
+                        f"process {step.pid} took {phi + 1} steps in "
+                        f"[{gap_start}, {gap_end}) while alive process {q} "
+                        "took none"
+                    )
+                    break
+    return violations
+
+
+def check_message_synchrony(run: Run, delta: int) -> list[str]:
+    """Exactly check the Δ message-synchrony condition on a run prefix.
+
+    For each message ``m`` sent at global index ``k`` to recipient
+    ``p``: every step of ``p`` at an index ``l >= k + Δ`` must find
+    ``m`` already received (i.e. ``m`` was delivered at some step of
+    ``p`` with index ``<= l``).  It suffices to check the *first* such
+    step.
+    """
+    violations: list[str] = []
+    received_at: dict[int, int] = {}
+    steps_by_pid: dict[int, list[int]] = {pid: [] for pid in range(run.n)}
+    for step in run.schedule:
+        steps_by_pid[step.pid].append(step.index)
+        for uid in step.received_uids:
+            received_at[uid] = step.index
+    for message in run.messages.values():
+        deadline = message.sent_step + delta
+        late_steps = [
+            idx for idx in steps_by_pid[message.recipient] if idx >= deadline
+        ]
+        if not late_steps:
+            continue  # recipient never stepped past the deadline: no constraint
+        first_late = late_steps[0]
+        got = received_at.get(message.uid)
+        if got is None or got > first_late:
+            violations.append(
+                f"message {message.uid} ({message.sender}->"
+                f"{message.recipient}, sent at step {message.sent_step}) "
+                f"not received by recipient's step at index {first_late} "
+                f"(Δ={delta})"
+            )
+    return violations
+
+
+def validate_ss_run(run: Run, phi: int, delta: int) -> list[str]:
+    """Validate both SS synchrony conditions plus crash safety."""
+    violations = []
+    for step in run.schedule:
+        if not run.pattern.is_alive(step.pid, step.time):
+            violations.append(
+                f"crashed process {step.pid} took step {step.index}"
+            )
+    violations.extend(check_process_synchrony(run, phi))
+    violations.extend(check_message_synchrony(run, delta))
+    return violations
+
+
+class SSScheduler(Scheduler):
+    """A randomized scheduler that never violates the Φ/Δ bounds.
+
+    Interleaving: we keep, for every ordered pair ``(q, p)``, the number
+    of steps ``p`` has taken since ``q``'s last step; process ``p`` is
+    *eligible* when that count is at most ``Φ - 1`` for every alive
+    ``q``.  The process with the oldest last step is always eligible, so
+    the scheduler can never deadlock.  A uniformly random eligible
+    process is chosen, which exercises the full slack the Φ bound
+    allows.
+
+    Delivery: when ``p`` steps at global index ``g``, every buffered
+    message sent at index ``<= g - Δ`` *must* be delivered (the Δ
+    condition); younger messages are delivered with probability
+    ``eager_prob``, exercising the slack the Δ bound allows.
+    """
+
+    def __init__(
+        self,
+        phi: int,
+        delta: int,
+        rng: random.Random | None = None,
+        eager_prob: float = 0.3,
+    ) -> None:
+        if phi < 1 or delta < 1:
+            raise ConfigurationError("SS requires Φ >= 1 and Δ >= 1")
+        if not 0.0 <= eager_prob <= 1.0:
+            raise ConfigurationError("eager_prob must be in [0, 1]")
+        self.phi = phi
+        self.delta = delta
+        self._rng = rng if rng is not None else random.Random(0)
+        self._eager_prob = eager_prob
+        # _since[q][p] = steps p has taken since q's last step.
+        self._since: dict[int, dict[int, int]] | None = None
+
+    def _ensure_counters(self, n: int) -> dict[int, dict[int, int]]:
+        if self._since is None:
+            self._since = {
+                q: {p: 0 for p in range(n) if p != q} for q in range(n)
+            }
+        return self._since
+
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        if not view.alive:
+            return None
+        since = self._ensure_counters(view.n)
+        eligible = [
+            p
+            for p in sorted(view.alive)
+            if all(
+                since[q][p] <= self.phi - 1
+                for q in view.alive
+                if q != p
+            )
+        ]
+        if not eligible:  # impossible by construction; fail loudly if not
+            raise ConfigurationError(
+                "SSScheduler invariant broken: no eligible process"
+            )
+        pid = self._rng.choice(eligible)
+
+        deliver: set[int] = set()
+        for message in view.buffered(pid):
+            mandatory = view.time - message.sent_step >= self.delta
+            if mandatory or self._rng.random() < self._eager_prob:
+                deliver.add(message.uid)
+
+        # Bookkeeping: pid stepped, so every other q sees one more step of
+        # pid; pid's own view of everyone resets.
+        for q in range(view.n):
+            if q != pid:
+                since[q][pid] += 1
+        since[pid] = {p: 0 for p in range(view.n) if p != pid}
+        return StepChoice(pid=pid, deliver_uids=frozenset(deliver))
+
+
+class SynchronousModel(SystemModel):
+    """The SS model with bounds Φ and Δ."""
+
+    name = "SS"
+
+    def __init__(self, phi: int = 1, delta: int = 1, eager_prob: float = 0.3) -> None:
+        if phi < 1 or delta < 1:
+            raise ConfigurationError("SS requires Φ >= 1 and Δ >= 1")
+        self.phi = phi
+        self.delta = delta
+        self.eager_prob = eager_prob
+
+    def make_scheduler(self, rng: random.Random | None = None) -> Scheduler:
+        return SSScheduler(
+            self.phi, self.delta, rng=rng, eager_prob=self.eager_prob
+        )
+
+    def validate(self, run: Run) -> list[str]:
+        return validate_ss_run(run, self.phi, self.delta)

@@ -1,0 +1,26 @@
+"""Randomized consensus: the third way around the FLP impossibility.
+
+The paper's introduction frames two approaches to circumventing the
+asynchronous impossibility of consensus [13]: timing assumptions
+(SS and its relaxations) and failure detectors (SP and the hierarchy).
+The literature's third classic is *randomization* — Ben-Or's algorithm
+solves consensus in the plain asynchronous model with no detector at
+all, at the price of probabilistic (rather than certain) termination.
+Including it completes the library's survey of the design space the
+paper is positioned in: per-run safety is still deterministic and
+checkable; only the number of rounds is a random variable.
+"""
+
+from repro.randomized.benor import (
+    BenOrConsensus,
+    BenOrState,
+    benor_decisions,
+    run_benor,
+)
+
+__all__ = [
+    "BenOrConsensus",
+    "BenOrState",
+    "benor_decisions",
+    "run_benor",
+]

@@ -1,0 +1,260 @@
+"""Ben-Or's randomized binary consensus (crash model, n > 2t).
+
+Each asynchronous round has two exchanges:
+
+* **Report.**  Broadcast ``(R, r, estimate)``; collect ``n - t``
+  round-``r`` reports.  If more than ``n/2`` of them carry the same
+  value ``v``, propose ``v``; otherwise propose ``⊥``.
+* **Proposal.**  Broadcast ``(P, r, proposal)``; collect ``n - t``
+  round-``r`` proposals.  If at least ``t + 1`` carry the same
+  ``v ≠ ⊥``, *decide* ``v``; else if at least one carries ``v ≠ ⊥``,
+  adopt ``v`` as the new estimate; else flip a local coin.
+
+Safety is deterministic.  Two different non-⊥ proposals cannot coexist
+in a round (each is backed by a strict majority of reports, and two
+majorities intersect), so deciders are unanimous; and a decision
+quorum of ``t + 1`` proposals guarantees every process's ``n - t``
+proposal sample hits at least one of them, so all survivors adopt the
+decided value and every later round re-decides it.  Termination is
+probabilistic: when every undecided process flips, all coins agree
+with probability at least ``2^-n`` per round — certain in the limit,
+and fast for the small systems studied here.
+
+Decisions are relayed (``DECIDE`` messages, re-broadcast once on first
+receipt) so laggards terminate without waiting out the lottery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.failures.pattern import FailurePattern
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+from repro.simulation.executor import StepExecutor
+from repro.simulation.run import Run
+from repro.simulation.schedulers import RandomScheduler
+
+REPORT = "R"
+PROPOSAL = "P"
+DECIDE = "decide"
+
+#: The "no value" proposal marker.
+BOTTOM = None
+
+WAIT_REPORTS = "reports"
+WAIT_PROPOSALS = "proposals"
+
+
+@dataclass(frozen=True)
+class BenOrState:
+    """Per-process state of Ben-Or consensus."""
+
+    round: int = 1
+    stage: str = WAIT_REPORTS
+    estimate: int = 0
+    decided: bool = False
+    decision: Any = None
+    outbox: tuple = ()
+    reports: Mapping[int, Mapping[int, int]] = field(default_factory=dict)
+    proposals: Mapping[int, Mapping[int, Any]] = field(default_factory=dict)
+    relayed: bool = False
+    sent_stage: str = ""  # last (round, stage) whose broadcast was queued
+
+
+class BenOrConsensus(StepAutomaton):
+    """Randomized binary consensus on the asynchronous step kernel.
+
+    ``coin_seed`` keeps the whole algorithm deterministic given the
+    executor's inputs: process ``p``'s round-``r`` coin is drawn from
+    ``random.Random(f"{coin_seed}:{p}:{r}")`` — reproducible runs, yet
+    independent coins across processes and rounds.
+    """
+
+    def __init__(
+        self, n: int, t: int, values: Sequence[int], coin_seed: int = 0
+    ) -> None:
+        if n <= 2 * t:
+            raise ConfigurationError(
+                f"Ben-Or needs n > 2t (got n={n}, t={t})"
+            )
+        if len(values) != n:
+            raise ConfigurationError("one initial value per process required")
+        if any(value not in (0, 1) for value in values):
+            raise ConfigurationError("Ben-Or is binary: values must be 0/1")
+        self.n = n
+        self.t = t
+        self.values = tuple(values)
+        self.coin_seed = coin_seed
+        self.quorum = n - t
+
+    def _coin(self, pid: int, round_index: int) -> int:
+        return random.Random(
+            f"{self.coin_seed}:{pid}:{round_index}"
+        ).randint(0, 1)
+
+    def initial_state(self, pid: int, n: int) -> BenOrState:
+        return BenOrState(estimate=self.values[pid])
+
+    def _queue_all(self, state: BenOrState, pid: int, payload: tuple) -> BenOrState:
+        outbox = state.outbox
+        for recipient in range(self.n):
+            if recipient != pid:
+                outbox = outbox + ((recipient, payload),)
+        return replace(state, outbox=outbox)
+
+    def _decide(self, state: BenOrState, pid: int, value: Any) -> BenOrState:
+        if state.decided:
+            return state
+        state = replace(state, decided=True, decision=value, estimate=value)
+        if not state.relayed:
+            state = self._queue_all(state, pid, (DECIDE, value))
+            state = replace(state, relayed=True)
+        return state
+
+    def _ingest(self, state: BenOrState, ctx: StepContext) -> BenOrState:
+        reports = {r: dict(v) for r, v in state.reports.items()}
+        proposals = {r: dict(v) for r, v in state.proposals.items()}
+        for message in ctx.received:
+            kind = message.payload[0]
+            if kind == REPORT:
+                _, round_index, value = message.payload
+                reports.setdefault(round_index, {})[message.sender] = value
+            elif kind == PROPOSAL:
+                _, round_index, value = message.payload
+                proposals.setdefault(round_index, {})[message.sender] = value
+            elif kind == DECIDE:
+                state = self._decide(state, ctx.pid, message.payload[1])
+        return replace(state, reports=reports, proposals=proposals)
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: BenOrState = self._ingest(ctx.state, ctx)
+
+        if state.outbox:
+            (recipient, payload), rest = state.outbox[0], state.outbox[1:]
+            return StepOutcome(
+                state=replace(state, outbox=rest),
+                send_to=recipient,
+                payload=payload,
+            )
+        if state.decided:
+            return StepOutcome(state=state)
+
+        state = self._advance(state, ctx.pid)
+        if state.outbox:
+            (recipient, payload), rest = state.outbox[0], state.outbox[1:]
+            return StepOutcome(
+                state=replace(state, outbox=rest),
+                send_to=recipient,
+                payload=payload,
+            )
+        return StepOutcome(state=state)
+
+    def _advance(self, state: BenOrState, pid: int) -> BenOrState:
+        round_index = state.round
+
+        if state.stage == WAIT_REPORTS:
+            tag = f"{round_index}:{WAIT_REPORTS}"
+            if state.sent_stage != tag:
+                # Broadcast the report (self-report filed directly).
+                reports = {r: dict(v) for r, v in state.reports.items()}
+                reports.setdefault(round_index, {})[pid] = state.estimate
+                state = replace(
+                    state, reports=reports, sent_stage=tag
+                )
+                return self._queue_all(
+                    state, pid, (REPORT, round_index, state.estimate)
+                )
+            collected = state.reports.get(round_index, {})
+            if len(collected) < self.quorum:
+                return state
+            # The report tally is evaluated when the proposal is built.
+            return replace(state, stage=WAIT_PROPOSALS, sent_stage="")
+
+        if state.stage == WAIT_PROPOSALS:
+            tag = f"{round_index}:{WAIT_PROPOSALS}"
+            if state.sent_stage != tag:
+                collected = state.reports.get(round_index, {})
+                tally = {0: 0, 1: 0}
+                for value in collected.values():
+                    tally[value] += 1
+                proposal: Any = BOTTOM
+                for value in (0, 1):
+                    if tally[value] * 2 > self.n:
+                        proposal = value
+                proposals = {
+                    r: dict(v) for r, v in state.proposals.items()
+                }
+                proposals.setdefault(round_index, {})[pid] = proposal
+                state = replace(
+                    state, proposals=proposals, sent_stage=tag
+                )
+                return self._queue_all(
+                    state, pid, (PROPOSAL, round_index, proposal)
+                )
+            collected = state.proposals.get(round_index, {})
+            if len(collected) < self.quorum:
+                return state
+            non_bottom = [
+                value for value in collected.values() if value is not BOTTOM
+            ]
+            if non_bottom:
+                value = non_bottom[0]
+                if non_bottom.count(value) >= self.t + 1:
+                    return self._decide(state, pid, value)
+                estimate = value
+            else:
+                estimate = self._coin(pid, round_index)
+            return replace(
+                state,
+                round=round_index + 1,
+                stage=WAIT_REPORTS,
+                sent_stage="",
+                estimate=estimate,
+            )
+
+        raise ConfigurationError(f"unknown stage {state.stage}")  # pragma: no cover
+
+
+def run_benor(
+    values: Sequence[int],
+    pattern: FailurePattern,
+    *,
+    t: int | None = None,
+    rng: random.Random | None = None,
+    coin_seed: int = 0,
+    max_steps: int = 20_000,
+    delivery_prob: float = 0.5,
+    max_age: int = 30,
+) -> Run:
+    """Execute Ben-Or under a random asynchronous schedule."""
+    n = len(values)
+    resilience = t if t is not None else (n - 1) // 2
+    if rng is None:
+        rng = random.Random(0)
+    algorithm = BenOrConsensus(n, resilience, values, coin_seed=coin_seed)
+    executor = StepExecutor(
+        algorithm,
+        n,
+        pattern,
+        RandomScheduler(rng, delivery_prob=delivery_prob, max_age=max_age),
+    )
+
+    def all_correct_decided(states: Mapping[int, BenOrState]) -> bool:
+        undrained = any(states[pid].outbox for pid in pattern.correct)
+        return not undrained and all(
+            states[pid].decided for pid in pattern.correct
+        )
+
+    return executor.execute(max_steps, stop_when=all_correct_decided)
+
+
+def benor_decisions(run: Run) -> dict[int, Any]:
+    """The decision of every process that decided in the run."""
+    return {
+        pid: state.decision
+        for pid, state in run.final_states.items()
+        if isinstance(state, BenOrState) and state.decided
+    }

@@ -1,0 +1,83 @@
+"""The round-algorithm interface (paper Section 4.1).
+
+An algorithm of the RS model (and hence of RWS — the interface is the
+same, only the execution differs) consists, for each process, of a
+state set, an initial state, a message-generation function ``msgs_i``
+and a state-transition function ``trans_i``.  In every round each
+process first applies ``msgs_i`` to produce the messages it sends, then
+applies ``trans_i`` to its state and the vector of messages it
+received.
+
+Null messages are expressed by simply omitting a recipient from the
+mapping returned by :meth:`RoundAlgorithm.messages` (the paper's codes
+likewise "do not specify null messages in the msgs_i's").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+
+def broadcast(payload: Any, n: int) -> dict[int, Any]:
+    """Address ``payload`` to all ``n`` processes (self included).
+
+    Self-delivery is reliable: a process that completes its round always
+    receives its own broadcast.  This matches the paper's counting — in
+    ``C_OptFloodSet`` a process can receive "``n`` messages" at round 1,
+    which includes its own.
+    """
+    return {pid: payload for pid in range(n)}
+
+
+class RoundAlgorithm(ABC):
+    """A deterministic round-based algorithm.
+
+    Implementations must treat states as immutable: ``transition``
+    returns a fresh state.  ``decision_of`` reads the irrevocable
+    decision out of a state (``None`` until decided); executors use it
+    to record decision rounds, from which every latency measure of
+    Section 5.2 is computed.
+    """
+
+    #: Short identifier used in reports and benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def initial_state(self, pid: int, n: int, t: int, value: Any) -> Any:
+        """Initial state of process ``pid`` with input ``value``.
+
+        ``t`` is the resilience parameter (maximum number of crashes
+        the run is meant to tolerate); algorithms such as FloodSet use
+        it to fix their round count.
+        """
+
+    @abstractmethod
+    def messages(self, pid: int, state: Any) -> Mapping[int, Any]:
+        """The messages ``pid`` sends this round: recipient -> payload.
+
+        Returning an empty mapping sends only null messages.
+        """
+
+    @abstractmethod
+    def transition(self, pid: int, state: Any, received: Mapping[int, Any]) -> Any:
+        """Apply ``trans_i`` to the state and the received vector.
+
+        ``received`` maps sender pid to payload for exactly the
+        messages delivered this round.
+        """
+
+    @abstractmethod
+    def decision_of(self, state: Any) -> Any:
+        """Return the decision recorded in ``state``, or ``None``."""
+
+    def halted(self, pid: int, state: Any) -> bool:
+        """Return True when the process will neither send nor change state.
+
+        Executors may stop early once every live process is halted and
+        no messages are in flight.  The default — halted once decided —
+        suits one-shot decision tasks; override for algorithms that keep
+        talking after deciding (e.g. ``F_OptFloodSet`` which must
+        *force* its round-1 decision on others at round 2).
+        """
+        return self.decision_of(state) is not None

@@ -1,0 +1,286 @@
+"""Executors for the RS and RWS round models.
+
+One engine runs both models; the difference is whether the scenario may
+contain pending messages (validated up front) — precisely the paper's
+framing, where RS and RWS algorithms share the ``(states, msgs, trans)``
+interface and only the delivery guarantee differs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError, ScenarioError
+from repro.rounds.algorithm import RoundAlgorithm
+from repro.rounds.scenario import FailureScenario, PendingMessage, validate_scenario
+
+
+class RoundModel(enum.Enum):
+    """Which round model an execution takes place in."""
+
+    RS = "RS"
+    RWS = "RWS"
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened during one round.
+
+    Attributes:
+        index: 1-based round number.
+        sent: ``(sender, recipient) -> payload`` for every message that
+            was actually sent (reached the network).
+        delivered: ``recipient -> {sender: payload}`` for every message
+            received this round.
+        transitioned: Processes that applied their transition.
+        crashed: Processes that crashed during this round.
+    """
+
+    index: int
+    sent: Mapping[tuple[int, int], Any]
+    delivered: Mapping[int, Mapping[int, Any]]
+    transitioned: frozenset[int]
+    crashed: frozenset[int]
+
+
+@dataclass
+class RoundRun:
+    """A finite execution of a round algorithm under one scenario."""
+
+    model: RoundModel
+    algorithm_name: str
+    n: int
+    t: int
+    values: tuple[Any, ...]
+    scenario: FailureScenario
+    rounds: list[RoundRecord] = field(default_factory=list)
+    final_states: dict[int, Any] = field(default_factory=dict)
+    decisions: dict[int, tuple[int, Any]] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def decision_value(self, pid: int) -> Any:
+        entry = self.decisions.get(pid)
+        return entry[1] if entry is not None else None
+
+    def decision_round(self, pid: int) -> int | None:
+        entry = self.decisions.get(pid)
+        return entry[0] if entry is not None else None
+
+    def decided_values(self) -> set[Any]:
+        """All distinct decision values (of correct *and* faulty processes)."""
+        return {value for _, value in self.decisions.values()}
+
+    def latency(self) -> int | None:
+        """The latency degree ``|r|``: rounds until all correct decide.
+
+        Returns ``None`` when some correct process has not decided
+        within the executed rounds (an incomplete run).
+        """
+        latest = 0
+        for pid in self.scenario.correct:
+            entry = self.decisions.get(pid)
+            if entry is None:
+                return None
+            latest = max(latest, entry[0])
+        return latest
+
+    def all_correct_decided(self) -> bool:
+        return self.latency() is not None
+
+
+def execute(
+    algorithm: RoundAlgorithm,
+    values: Sequence[Any],
+    scenario: FailureScenario,
+    *,
+    t: int,
+    model: RoundModel,
+    max_rounds: int,
+    validate: bool = True,
+    run_all_rounds: bool = False,
+) -> RoundRun:
+    """Execute ``algorithm`` from ``values`` under ``scenario``.
+
+    Args:
+        algorithm: The round algorithm to run.
+        values: Initial value of each process; ``len(values)`` fixes ``n``.
+        scenario: The adversary's complete decision.
+        t: Resilience parameter passed to the algorithm's initial states.
+        model: ``RoundModel.RS`` or ``RoundModel.RWS``.
+        max_rounds: Upper bound on executed rounds.
+        validate: Check the scenario against the model first (on by
+            default; exhaustive searches that pre-validate can skip it).
+        run_all_rounds: By default the run stops once every process that
+            is still alive has decided and no process will send again
+            (``algorithm.halted``).  Set True to always execute exactly
+            ``max_rounds`` rounds.
+
+    Returns:
+        The completed :class:`RoundRun`.
+    """
+    n = len(values)
+    if n != scenario.n:
+        raise ConfigurationError(
+            f"{n} initial values but scenario is over {scenario.n} processes"
+        )
+    if validate:
+        problems = validate_scenario(
+            scenario,
+            t=t,
+            allow_pending=(model is RoundModel.RWS),
+            horizon=max_rounds,
+        )
+        if problems:
+            raise ScenarioError("; ".join(problems))
+
+    states: dict[int, Any] = {
+        pid: algorithm.initial_state(pid, n, t, values[pid])
+        for pid in range(n)
+    }
+    run = RoundRun(
+        model=model,
+        algorithm_name=algorithm.name,
+        n=n,
+        t=t,
+        values=tuple(values),
+        scenario=scenario,
+    )
+
+    for round_index in range(1, max_rounds + 1):
+        record = _execute_round(algorithm, states, scenario, round_index, run)
+        run.rounds.append(record)
+        if not run_all_rounds and _quiescent(algorithm, states, scenario, round_index):
+            break
+
+    run.final_states = dict(states)
+    return run
+
+
+def _execute_round(
+    algorithm: RoundAlgorithm,
+    states: dict[int, Any],
+    scenario: FailureScenario,
+    round_index: int,
+    run: RoundRun,
+) -> RoundRecord:
+    n = scenario.n
+
+    # Send phase: every process beginning the round generates messages.
+    sent: dict[tuple[int, int], Any] = {}
+    for pid in range(n):
+        if not scenario.alive_at_start(pid, round_index):
+            continue
+        outgoing = algorithm.messages(pid, states[pid])
+        crash = scenario.crash_of(pid)
+        crashing_now = crash is not None and crash.round == round_index
+        for recipient, payload in outgoing.items():
+            if not 0 <= recipient < n:
+                raise ConfigurationError(
+                    f"{algorithm.name}: p{pid} addressed unknown process "
+                    f"{recipient}"
+                )
+            if crashing_now and recipient != pid:
+                if recipient not in crash.sent_to:
+                    continue  # crashed before this send
+            if crashing_now and recipient == pid and not crash.applies_transition:
+                continue  # a self-message nobody will ever read
+            sent[(pid, recipient)] = payload
+
+    # Delivery phase: withhold pending messages (RWS only; validated).
+    delivered: dict[int, dict[int, Any]] = {pid: {} for pid in range(n)}
+    for (sender, recipient), payload in sent.items():
+        if (
+            sender != recipient
+            and PendingMessage(sender, recipient, round_index)
+            in scenario.pending
+        ):
+            continue
+        delivered[recipient][sender] = payload
+
+    # Transition phase: processes completing the round apply trans.
+    transitioned: set[int] = set()
+    crashed_now: set[int] = set()
+    for pid in range(n):
+        crash = scenario.crash_of(pid)
+        if crash is not None and crash.round == round_index:
+            crashed_now.add(pid)
+        if not scenario.alive_at_end(pid, round_index):
+            continue
+        if not scenario.alive_at_start(pid, round_index):
+            continue
+        states[pid] = algorithm.transition(pid, states[pid], delivered[pid])
+        transitioned.add(pid)
+        decision = algorithm.decision_of(states[pid])
+        if decision is not None and pid not in run.decisions:
+            run.decisions[pid] = (round_index, decision)
+
+    return RoundRecord(
+        index=round_index,
+        sent=sent,
+        delivered={pid: dict(msgs) for pid, msgs in delivered.items()},
+        transitioned=frozenset(transitioned),
+        crashed=frozenset(crashed_now),
+    )
+
+
+def _quiescent(
+    algorithm: RoundAlgorithm,
+    states: dict[int, Any],
+    scenario: FailureScenario,
+    round_index: int,
+) -> bool:
+    """True when every process alive after this round is halted."""
+    return all(
+        algorithm.halted(pid, states[pid])
+        for pid in range(scenario.n)
+        if scenario.alive_at_start(pid, round_index + 1)
+    )
+
+
+def run_rs(
+    algorithm: RoundAlgorithm,
+    values: Sequence[Any],
+    scenario: FailureScenario,
+    *,
+    t: int,
+    max_rounds: int | None = None,
+    run_all_rounds: bool = False,
+) -> RoundRun:
+    """Execute in the RS model (round synchrony; no pending messages)."""
+    horizon = max_rounds if max_rounds is not None else t + 2
+    return execute(
+        algorithm,
+        values,
+        scenario,
+        t=t,
+        model=RoundModel.RS,
+        max_rounds=horizon,
+        run_all_rounds=run_all_rounds,
+    )
+
+
+def run_rws(
+    algorithm: RoundAlgorithm,
+    values: Sequence[Any],
+    scenario: FailureScenario,
+    *,
+    t: int,
+    max_rounds: int | None = None,
+    run_all_rounds: bool = False,
+) -> RoundRun:
+    """Execute in the RWS model (weak round synchrony; pending allowed)."""
+    horizon = max_rounds if max_rounds is not None else t + 2
+    return execute(
+        algorithm,
+        values,
+        scenario,
+        t=t,
+        model=RoundModel.RWS,
+        max_rounds=horizon,
+        run_all_rounds=run_all_rounds,
+    )

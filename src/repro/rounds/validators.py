@@ -1,0 +1,77 @@
+"""Post-hoc validators for the round-synchrony properties.
+
+The executors are *believed* to implement RS and RWS; these validators
+re-derive the two synchrony properties from the recorded round traces,
+so the test suite can cross-check the executor against an independent
+reading of the definitions (and so emulations built on the step kernel
+can be checked against the same properties — Lemma 4.1's statement is
+exactly :func:`check_weak_round_synchrony`).
+"""
+
+from __future__ import annotations
+
+from repro.rounds.executor import RoundRun
+
+
+def check_round_synchrony(run: RoundRun) -> list[str]:
+    """Check RS round synchrony on a finished run.
+
+    Property: if ``p_i`` is alive at the end of round ``r`` and does not
+    receive a message from ``p_j`` at round ``r``, then ``p_j`` failed
+    before sending a message to ``p_i`` at round ``r``.
+
+    Violations are reported as strings; an empty list means the
+    property holds on every round of the trace.
+    """
+    violations: list[str] = []
+    scenario = run.scenario
+    for record in run.rounds:
+        r = record.index
+        for pi in range(run.n):
+            if not scenario.alive_at_end(pi, r):
+                continue
+            if not scenario.alive_at_start(pi, r):
+                continue
+            for pj in range(run.n):
+                if pj == pi:
+                    continue
+                was_sent = (pj, pi) in record.sent
+                was_received = pj in record.delivered.get(pi, {})
+                if was_sent and not was_received:
+                    violations.append(
+                        f"round {r}: p{pi} (alive at end of round) missed a "
+                        f"message that p{pj} did send"
+                    )
+    return violations
+
+
+def check_weak_round_synchrony(run: RoundRun) -> list[str]:
+    """Check RWS weak round synchrony on a finished run.
+
+    Property: if ``p_i`` is alive at the end of round ``r`` and does not
+    receive a message from ``p_j`` at round ``r`` although ``p_j`` sent
+    one (a *pending* message), then ``p_j`` crashes by the end of round
+    ``r + 1``.
+    """
+    violations: list[str] = []
+    scenario = run.scenario
+    for record in run.rounds:
+        r = record.index
+        for pi in range(run.n):
+            if not scenario.alive_at_end(pi, r):
+                continue
+            if not scenario.alive_at_start(pi, r):
+                continue
+            for pj in range(run.n):
+                if pj == pi:
+                    continue
+                was_sent = (pj, pi) in record.sent
+                was_received = pj in record.delivered.get(pi, {})
+                if was_sent and not was_received:
+                    crash_round = scenario.crash_round(pj)
+                    if crash_round is None or crash_round > r + 1:
+                        violations.append(
+                            f"round {r}: message p{pj}->p{pi} is pending "
+                            f"but p{pj} does not crash by round {r + 1}"
+                        )
+    return violations

@@ -1,0 +1,82 @@
+"""The SDD problem specification as a run checker.
+
+Convention: the sender ``p_i`` is process 0, the receiver ``p_j`` is
+process 1.  Receiver automata record their decisions in a state
+attribute ``decisions`` — a tuple of every ``decide`` event, so that
+integrity (at most one decision) is checkable rather than enforced by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simulation.run import Run
+
+SENDER = 0
+RECEIVER = 1
+
+
+def sdd_decision(run: Run) -> Any:
+    """The receiver's decision in a finished run, or ``None``."""
+    decisions = getattr(run.final_states[RECEIVER], "decisions", ())
+    return decisions[0] if decisions else None
+
+
+@dataclass
+class SDDVerdict:
+    """Outcome of checking one run against the SDD specification."""
+
+    ok: bool
+    violations: list[str]
+    decision: Any
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"SDD ok (decision={self.decision!r})"
+        return "SDD violated: " + "; ".join(self.violations)
+
+
+def check_sdd_run(run: Run, sender_value: Any) -> SDDVerdict:
+    """Check integrity, validity and termination on one run.
+
+    Args:
+        run: A finished run with the sender as process 0 and the
+            receiver as process 1.
+        sender_value: ``p_i``'s initial value (0 or 1).
+
+    Termination is checked horizon-relative: a correct receiver must
+    have decided within the executed prefix, so callers must run long
+    enough for the algorithm's own deadline to pass.
+    """
+    violations: list[str] = []
+    decisions = getattr(run.final_states[RECEIVER], "decisions", ())
+
+    if len(decisions) > 1:
+        violations.append(
+            f"integrity: receiver decided {len(decisions)} times "
+            f"({decisions!r})"
+        )
+
+    sender_initially_dead = SENDER in run.pattern.initially_dead
+    # "Initially crashed" in step terms: the sender never took a step.
+    sender_took_step = any(step.pid == SENDER for step in run.schedule)
+    if decisions and not sender_initially_dead and sender_took_step:
+        if decisions[0] != sender_value:
+            violations.append(
+                f"validity: sender was not initially crashed (value "
+                f"{sender_value!r}) but receiver decided {decisions[0]!r}"
+            )
+
+    if RECEIVER in run.pattern.correct and not decisions:
+        violations.append(
+            "termination: correct receiver never decided within the "
+            f"{len(run.schedule)}-step prefix"
+        )
+
+    return SDDVerdict(
+        ok=not violations,
+        violations=violations,
+        decision=decisions[0] if decisions else None,
+    )

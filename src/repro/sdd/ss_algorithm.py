@@ -1,0 +1,133 @@
+"""The paper's SS algorithm for SDD.
+
+"In SS, the SDD problem has a very simple algorithm: p_i sends its
+initial value to p_j during its first step.  Process p_j executes
+Φ + 1 + Δ (possibly empty) steps.  If p_j receives a message from p_i
+during this period, p_j decides the value sent by p_i; otherwise, it
+decides 0."
+
+Why the deadline is sound: if ``p_i`` is not initially dead it takes
+its first step — the send — before ``p_j`` completes ``Φ + 1`` steps
+(process synchrony: once ``p_j`` has taken ``Φ + 1`` steps, a still
+unstarted-but-alive ``p_i`` would violate the bound... and a crashed
+``p_i`` that never stepped is initially dead).  The sent message then
+reaches ``p_j`` within ``Δ`` further global steps, during which ``p_j``
+takes at most ``Δ`` steps: by its ``(Φ + 1 + Δ)``-th step the value has
+arrived.  Note the delivery guarantee does *not* require ``p_i`` to
+stay alive — sent messages are delivered in SS regardless.  This
+bounded detection is exactly what SP lacks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.failures.pattern import FailurePattern
+from repro.models.ss import SSScheduler
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+from repro.simulation.executor import StepExecutor
+from repro.simulation.run import Run
+
+
+@dataclass(frozen=True)
+class SenderState:
+    """Sender state: the value and whether it was sent already."""
+
+    value: Any
+    sent: bool = False
+
+
+class SDDSender(StepAutomaton):
+    """``p_i``: send the initial value to the receiver in the first step."""
+
+    def __init__(self, value: Any, receiver: int = 1) -> None:
+        self.value = value
+        self.receiver = receiver
+
+    def initial_state(self, pid: int, n: int) -> SenderState:
+        return SenderState(value=self.value)
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: SenderState = ctx.state
+        if not state.sent:
+            return StepOutcome(
+                state=replace(state, sent=True),
+                send_to=self.receiver,
+                payload=state.value,
+            )
+        return StepOutcome(state=state)
+
+
+@dataclass(frozen=True)
+class ReceiverState:
+    """Receiver state: step budget spent and the decision log."""
+
+    steps_taken: int = 0
+    received_value: Any = None
+    decisions: tuple = ()
+
+
+class SDDReceiverSS(StepAutomaton):
+    """``p_j``: wait ``Φ + 1 + Δ`` steps, decide what arrived (or 0)."""
+
+    def __init__(self, phi: int, delta: int, default: Any = 0) -> None:
+        self.deadline = phi + 1 + delta
+        self.default = default
+
+    def initial_state(self, pid: int, n: int) -> ReceiverState:
+        return ReceiverState()
+
+    def on_step(self, ctx: StepContext) -> StepOutcome:
+        state: ReceiverState = ctx.state
+        steps_taken = state.steps_taken + 1
+        received_value = state.received_value
+        for message in ctx.received:
+            received_value = message.payload
+        decisions = state.decisions
+        if steps_taken == self.deadline and not decisions:
+            decided = (
+                received_value if received_value is not None else self.default
+            )
+            decisions = (decided,)
+        return StepOutcome(
+            state=replace(
+                state,
+                steps_taken=steps_taken,
+                received_value=received_value,
+                decisions=decisions,
+            )
+        )
+
+
+def solve_sdd_ss(
+    value: Any,
+    pattern: FailurePattern,
+    *,
+    phi: int = 1,
+    delta: int = 1,
+    rng: random.Random | None = None,
+    max_steps: int | None = None,
+) -> Run:
+    """Run the SS algorithm for SDD and return the finished run.
+
+    Process 0 is the sender (initial value ``value``), process 1 the
+    receiver.  The horizon is chosen so the receiver certainly reaches
+    its ``Φ + 1 + Δ`` local-step deadline.
+    """
+    deadline = phi + 1 + delta
+    horizon = max_steps if max_steps is not None else (deadline + 2) * 4
+    sender = SDDSender(value)
+    receiver = SDDReceiverSS(phi, delta)
+    executor = StepExecutor(
+        [sender, receiver],
+        2,
+        pattern,
+        SSScheduler(phi, delta, rng=rng),
+    )
+
+    def receiver_done(states) -> bool:
+        return bool(states[1].decisions)
+
+    return executor.execute(horizon, stop_when=receiver_done)

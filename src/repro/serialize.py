@@ -1,0 +1,178 @@
+"""JSON round-trips for the library's report and adversary objects.
+
+Experiments produce scenarios, latency profiles and experiment results
+that users want to archive, diff across versions, or feed to plotting
+tools; this module gives them stable JSON forms.
+
+Only *data* objects are serialised.  Runs and histories are deliberately
+excluded: they embed arbitrary application payloads and (for histories)
+functions; persist the scenario + seed instead and re-execute — the
+library is deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.latency import LatencyProfile
+from repro.commit.rates import CommitRateReport
+from repro.core.experiments import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.rounds.scenario import CrashEvent, FailureScenario, PendingMessage
+
+
+# -- failure scenarios --------------------------------------------------------
+
+
+def scenario_to_dict(scenario: FailureScenario) -> dict[str, Any]:
+    """A stable, JSON-ready form of a failure scenario."""
+    return {
+        "n": scenario.n,
+        "crashes": [
+            {
+                "pid": event.pid,
+                "round": event.round,
+                "sent_to": sorted(event.sent_to),
+                "applies_transition": event.applies_transition,
+            }
+            for event in sorted(scenario.crashes, key=lambda e: e.pid)
+        ],
+        "pending": [
+            {
+                "sender": pend.sender,
+                "recipient": pend.recipient,
+                "round": pend.round,
+            }
+            for pend in sorted(
+                scenario.pending,
+                key=lambda m: (m.round, m.sender, m.recipient),
+            )
+        ],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> FailureScenario:
+    """Inverse of :func:`scenario_to_dict`."""
+    try:
+        crashes = tuple(
+            CrashEvent(
+                pid=entry["pid"],
+                round=entry["round"],
+                sent_to=frozenset(entry.get("sent_to", ())),
+                applies_transition=entry.get("applies_transition", False),
+            )
+            for entry in data.get("crashes", ())
+        )
+        pending = frozenset(
+            PendingMessage(
+                sender=entry["sender"],
+                recipient=entry["recipient"],
+                round=entry["round"],
+            )
+            for entry in data.get("pending", ())
+        )
+        return FailureScenario(n=data["n"], crashes=crashes, pending=pending)
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"scenario dict is missing the {missing} field"
+        ) from None
+
+
+def scenario_to_json(scenario: FailureScenario) -> str:
+    return json.dumps(scenario_to_dict(scenario), sort_keys=True)
+
+
+def scenario_from_json(text: str) -> FailureScenario:
+    return scenario_from_dict(json.loads(text))
+
+
+# -- latency profiles ----------------------------------------------------------
+
+
+def profile_to_dict(profile: LatencyProfile) -> dict[str, Any]:
+    """JSON-ready form of a latency profile.
+
+    Configuration keys (value tuples) become string keys, since JSON
+    objects cannot be keyed by arrays.
+    """
+    return {
+        "algorithm": profile.algorithm,
+        "model": profile.model,
+        "n": profile.n,
+        "t": profile.t,
+        "lat": profile.lat,
+        "Lat": profile.Lat,
+        "Lambda": profile.Lambda,
+        "Lat_by_failures": {
+            str(f): v for f, v in sorted(profile.Lat_by_failures.items())
+        },
+        "lat_by_config": {
+            json.dumps(list(config)): latency
+            for config, latency in sorted(profile.lat_by_config.items())
+        },
+        "runs_explored": profile.runs_explored,
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> LatencyProfile:
+    return LatencyProfile(
+        algorithm=data["algorithm"],
+        model=data["model"],
+        n=data["n"],
+        t=data["t"],
+        lat=data["lat"],
+        Lat=data["Lat"],
+        Lambda=data["Lambda"],
+        Lat_by_failures={
+            int(f): v for f, v in data["Lat_by_failures"].items()
+        },
+        lat_by_config={
+            tuple(json.loads(config)): latency
+            for config, latency in data["lat_by_config"].items()
+        },
+        runs_explored=data["runs_explored"],
+    )
+
+
+# -- experiment results ---------------------------------------------------------
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "measured": result.measured,
+        "ok": result.ok,
+        "details": list(result.details),
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        paper_claim=data["paper_claim"],
+        measured=data["measured"],
+        ok=data["ok"],
+        details=list(data.get("details", ())),
+    )
+
+
+# -- commit-rate reports ---------------------------------------------------------
+
+
+def commit_report_to_dict(report: CommitRateReport) -> dict[str, Any]:
+    return {
+        "algorithm": report.algorithm,
+        "model": report.model,
+        "n": report.n,
+        "t": report.t,
+        "runs": report.runs,
+        "commits": report.commits,
+        "aborts": report.aborts,
+        "undecided": report.undecided,
+        "commit_rate": report.commit_rate,
+        "violations": [str(v) for v in report.violations],
+    }

@@ -1,0 +1,238 @@
+"""The step executor: drives automata under a scheduler and a pattern.
+
+This is the kernel's single execution engine.  Model differences
+(asynchrony, SS, SP) enter exclusively through the scheduler and the
+optional failure-detector history, matching the paper's framing where
+"system models are defined according to the way algorithms execute".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.failures.history import FailureDetectorHistory
+from repro.failures.pattern import FailurePattern
+from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
+from repro.simulation.message import Message
+from repro.simulation.run import Run
+from repro.simulation.schedule import Schedule, Step
+from repro.simulation.schedulers import Scheduler, SchedulerView
+
+
+class StepExecutor:
+    """Execute an algorithm step by step until a stop condition.
+
+    Args:
+        automata: Either one automaton shared by all processes or a
+            sequence of ``n`` automata, one per process (heterogeneous
+            algorithms, e.g. the SDD sender/receiver pair).
+        n: Number of processes.
+        pattern: The failure pattern governing crashes.
+        scheduler: Decides interleaving and message delivery.
+        history: Failure-detector history to expose in each step's query
+            phase (``None`` for detector-free models).
+        record_states: If True, snapshot the stepping process's state
+            after every step (used by fine-grained validators; costs
+            memory on long runs).
+    """
+
+    def __init__(
+        self,
+        automata: StepAutomaton | Sequence[StepAutomaton],
+        n: int,
+        pattern: FailurePattern,
+        scheduler: Scheduler,
+        *,
+        history: FailureDetectorHistory | None = None,
+        record_states: bool = False,
+    ) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if pattern.n != n:
+            raise ConfigurationError(
+                f"pattern is over {pattern.n} processes, executor over {n}"
+            )
+        if isinstance(automata, StepAutomaton):
+            self._automata: list[StepAutomaton] = [automata] * n
+        else:
+            if len(automata) != n:
+                raise ConfigurationError(
+                    f"expected {n} automata, got {len(automata)}"
+                )
+            self._automata = list(automata)
+        self.n = n
+        self.pattern = pattern
+        self.scheduler = scheduler
+        self.history = history
+        self.record_states = record_states
+
+    def execute(
+        self,
+        max_steps: int,
+        *,
+        stop_when: Callable[[dict[int, Any]], bool] | None = None,
+    ) -> Run:
+        """Run for at most ``max_steps`` steps and return the run record.
+
+        The run also ends when the scheduler returns ``None``, when no
+        process is alive, or when ``stop_when(states)`` becomes true
+        (checked after every step).
+        """
+        states: dict[int, Any] = {
+            pid: self._automata[pid].initial_state(pid, self.n)
+            for pid in range(self.n)
+        }
+        initial_states = dict(states)
+        buffers: dict[int, list[Message]] = {pid: [] for pid in range(self.n)}
+        local_steps = {pid: 0 for pid in range(self.n)}
+        schedule = Schedule(n=self.n)
+        messages: dict[int, Message] = {}
+        snapshots: list[Any] | None = [] if self.record_states else None
+        next_uid = 0
+
+        for index in range(max_steps):
+            time = index
+            alive = frozenset(
+                pid for pid in range(self.n)
+                if self.pattern.is_alive(pid, time)
+            )
+            if not alive:
+                break
+            view = SchedulerView(
+                time=time,
+                n=self.n,
+                alive=alive,
+                buffers={
+                    pid: tuple(buffered) for pid, buffered in buffers.items()
+                },
+                local_steps=dict(local_steps),
+            )
+            choice = self.scheduler.choose(view)
+            if choice is None:
+                break
+            pid = choice.pid
+            if pid not in alive:
+                raise ScheduleError(
+                    f"scheduler chose crashed process {pid} at time {time}"
+                )
+
+            delivered, remaining = self._split_delivery(
+                buffers[pid], choice.deliver_uids, time
+            )
+            buffers[pid] = remaining
+            local_steps[pid] += 1
+
+            suspects = (
+                self.history.suspects(pid, time)
+                if self.history is not None
+                else None
+            )
+            ctx = StepContext(
+                pid=pid,
+                n=self.n,
+                state=states[pid],
+                received=tuple(delivered),
+                local_step=local_steps[pid],
+                suspects=suspects,
+            )
+            outcome = self._automata[pid].on_step(ctx)
+            states[pid] = outcome.state
+
+            sent_uid: int | None = None
+            sent_to: int | None = None
+            if outcome.send_to is not None:
+                sent_to = outcome.send_to
+                if not 0 <= sent_to < self.n:
+                    raise ScheduleError(
+                        f"process {pid} sent to unknown process {sent_to}"
+                    )
+                message = Message(
+                    uid=next_uid,
+                    sender=pid,
+                    recipient=sent_to,
+                    payload=outcome.payload,
+                    sent_step=index,
+                )
+                next_uid += 1
+                messages[message.uid] = message
+                buffers[sent_to].append(message)
+                sent_uid = message.uid
+
+            schedule.append(
+                Step(
+                    index=index,
+                    time=time,
+                    pid=pid,
+                    received_uids=tuple(m.uid for m in delivered),
+                    sent_uid=sent_uid,
+                    sent_to=sent_to,
+                    local_step=local_steps[pid],
+                    suspects=suspects,
+                )
+            )
+            if snapshots is not None:
+                snapshots.append(states[pid])
+            if stop_when is not None and stop_when(states):
+                break
+
+        return Run(
+            n=self.n,
+            pattern=self.pattern,
+            schedule=schedule,
+            initial_states=initial_states,
+            final_states=dict(states),
+            messages=messages,
+            undelivered={
+                pid: tuple(buffered) for pid, buffered in buffers.items()
+            },
+            history=self.history,
+            state_snapshots=snapshots,
+        )
+
+    @staticmethod
+    def _split_delivery(
+        buffered: list[Message],
+        deliver_uids: frozenset[int] | None,
+        time: int,
+    ) -> tuple[list[Message], list[Message]]:
+        """Partition a buffer into (delivered now, still pending)."""
+        if deliver_uids is None:
+            return list(buffered), []
+        delivered: list[Message] = []
+        remaining: list[Message] = []
+        for message in buffered:
+            if message.uid in deliver_uids:
+                delivered.append(message)
+            else:
+                remaining.append(message)
+        missing = deliver_uids - {m.uid for m in delivered}
+        if missing:
+            raise ScheduleError(
+                f"scheduler delivered unknown message uids {sorted(missing)} "
+                f"at time {time}"
+            )
+        return delivered, remaining
+
+
+def run_until_quiet(
+    executor: StepExecutor,
+    max_steps: int,
+    decided: Callable[[Any], bool],
+) -> Run:
+    """Convenience: execute until every alive process satisfies ``decided``.
+
+    ``decided`` inspects a single process state.  Crashed processes are
+    exempt — a run is "quiet" when every process still alive (at the
+    *end* of the horizon) has decided.
+    """
+    pattern = executor.pattern
+
+    def stop(states: dict[int, Any]) -> bool:
+        return all(
+            decided(state)
+            for pid, state in states.items()
+            if pid in pattern.correct
+        )
+
+    return executor.execute(max_steps, stop_when=stop)

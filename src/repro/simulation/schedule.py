@@ -1,0 +1,88 @@
+"""Schedules: the per-step trace of who did what.
+
+A schedule (paper Section 2.2) is a sequence of steps of the algorithm.
+The paper's schedules are infinite; we record the finite prefix actually
+executed together with enough bookkeeping (message uids, send/receive
+step indices) for the synchrony validators of :mod:`repro.models` to
+check the SS conditions, which are stated purely in terms of schedule
+indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic step of the schedule.
+
+    Attributes:
+        index: Global 0-based position of this step in the schedule.
+        time: The global-clock tick at which the step occurred.  The
+            kernel uses ``time == index`` (any strictly increasing list
+            is equivalent for time-free problems, Section 2.7).
+        pid: The process that took the step.
+        received_uids: Uids of the messages delivered during the step.
+        sent_uid: Uid of the message sent during the step, or ``None``.
+        sent_to: Recipient of the sent message, or ``None``.
+        local_step: 1-based count of steps taken by ``pid`` so far.
+        suspects: Failure-detector output observed in the step's query
+            phase, or ``None`` in detector-free models.
+    """
+
+    index: int
+    time: int
+    pid: int
+    received_uids: tuple[int, ...]
+    sent_uid: int | None
+    sent_to: int | None
+    local_step: int
+    suspects: frozenset[int] | None = None
+
+
+@dataclass
+class Schedule:
+    """A finite prefix of a schedule, as a list of :class:`Step`.
+
+    Provides the per-process projections ``S_i`` used by the paper's
+    definition of time-free problems (Section 2.7): two runs are
+    equivalent for a time-free problem whenever every process takes the
+    same sequence of steps in both.
+    """
+
+    n: int
+    steps: list[Step] = field(default_factory=list)
+
+    def append(self, step: Step) -> None:
+        if step.index != len(self.steps):
+            raise ValueError(
+                f"step index {step.index} does not extend schedule of "
+                f"length {len(self.steps)}"
+            )
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> Step:
+        return self.steps[index]
+
+    def projection(self, pid: int) -> list[Step]:
+        """Return ``S_i``: the subsequence of steps taken by ``pid``."""
+        return [s for s in self.steps if s.pid == pid]
+
+    def step_counts(self) -> dict[int, int]:
+        """Return the number of steps taken by each process."""
+        counts = {pid: 0 for pid in range(self.n)}
+        for step in self.steps:
+            counts[step.pid] += 1
+        return counts
+
+    def steps_in_window(self, start: int, end: int) -> list[Step]:
+        """Return the steps with ``start <= index < end``."""
+        return self.steps[start:end]

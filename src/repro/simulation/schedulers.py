@@ -1,0 +1,164 @@
+"""Schedulers: the source of nondeterminism in the step-level kernel.
+
+A scheduler decides, at every global step, which process moves and which
+of its buffered messages are delivered.  System models are obtained by
+restricting schedulers: an unconstrained scheduler yields the
+asynchronous model, while :class:`repro.models.ss.SSScheduler` only
+produces schedules satisfying the Φ/Δ synchrony conditions.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ScheduleError
+from repro.simulation.message import Message
+
+
+@dataclass(frozen=True)
+class StepChoice:
+    """A scheduler decision: ``pid`` steps, receiving ``deliver_uids``.
+
+    ``deliver_uids`` of ``None`` means "deliver everything buffered".
+    """
+
+    pid: int
+    deliver_uids: frozenset[int] | None = None
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """Read-only snapshot handed to the scheduler before each step.
+
+    Attributes:
+        time: The global clock tick (== global step index).
+        n: Number of processes.
+        alive: Processes not crashed at ``time``.
+        buffers: Per-process pending messages (in arrival order).
+        local_steps: Steps taken so far by each process.
+    """
+
+    time: int
+    n: int
+    alive: frozenset[int]
+    buffers: Mapping[int, tuple[Message, ...]]
+    local_steps: Mapping[int, int]
+
+    def buffered(self, pid: int) -> tuple[Message, ...]:
+        return self.buffers.get(pid, ())
+
+
+class Scheduler(ABC):
+    """Decides who steps next and what they receive."""
+
+    @abstractmethod
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        """Return the next step, or ``None`` to end the run.
+
+        Returning ``None`` is how scripted schedulers signal that the
+        script is exhausted; the executor also stops on its own when no
+        process is alive or the step budget runs out.
+        """
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle over alive processes; deliver every buffered message.
+
+    This scheduler satisfies the SS synchrony conditions for every
+    ``Φ >= 1`` and ``Δ >= 1`` (each alive process steps once per cycle
+    and messages are delivered at the recipient's first opportunity),
+    making it the simplest SS-admissible scheduler.  It also produces
+    admissible asynchronous runs (every correct process steps forever,
+    every message is delivered).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        if not view.alive:
+            return None
+        for offset in range(view.n):
+            pid = (self._next + offset) % view.n
+            if pid in view.alive:
+                self._next = (pid + 1) % view.n
+                return StepChoice(pid=pid, deliver_uids=None)
+        return None
+
+
+class RandomScheduler(Scheduler):
+    """Random interleaving with randomly delayed message delivery.
+
+    Produces asynchronous runs: an arbitrary alive process steps, and
+    each buffered message is delivered with probability
+    ``delivery_prob`` — except that messages older than ``max_age``
+    global steps are always delivered, which keeps finite prefixes
+    honest about the "every message is eventually received" condition.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        delivery_prob: float = 0.6,
+        max_age: int | None = 40,
+    ) -> None:
+        if not 0.0 <= delivery_prob <= 1.0:
+            raise ScheduleError("delivery_prob must be in [0, 1]")
+        self._rng = rng
+        self._delivery_prob = delivery_prob
+        self._max_age = max_age
+
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        if not view.alive:
+            return None
+        pid = self._rng.choice(sorted(view.alive))
+        deliver = set()
+        for message in view.buffered(pid):
+            age = view.time - message.sent_step
+            overdue = self._max_age is not None and age >= self._max_age
+            if overdue or self._rng.random() < self._delivery_prob:
+                deliver.add(message.uid)
+        return StepChoice(pid=pid, deliver_uids=frozenset(deliver))
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay an explicit list of scheduling decisions.
+
+    The script is a sequence of ``(pid, deliver)`` pairs where
+    ``deliver`` is ``"all"``, or an iterable of message uids, or a
+    callable mapping the buffered messages to the uids to deliver
+    (handy when uids are not known when the script is written).
+    Scripted schedulers are the tool for building the precise runs that
+    indistinguishability arguments — Theorem 3.1 in particular — are
+    made of.
+    """
+
+    def __init__(self, script: Sequence[tuple[int, object]]) -> None:
+        self._script = list(script)
+        self._cursor = 0
+
+    def choose(self, view: SchedulerView) -> StepChoice | None:
+        if self._cursor >= len(self._script):
+            return None
+        pid, deliver = self._script[self._cursor]
+        self._cursor += 1
+        if pid not in view.alive:
+            raise ScheduleError(
+                f"script step {self._cursor - 1}: process {pid} is crashed "
+                f"at time {view.time}"
+            )
+        if deliver == "all":
+            uids: frozenset[int] | None = None
+        elif callable(deliver):
+            uids = frozenset(deliver(view.buffered(pid)))
+        elif isinstance(deliver, Iterable):
+            uids = frozenset(deliver)  # type: ignore[arg-type]
+        else:
+            raise ScheduleError(
+                f"script step {self._cursor - 1}: bad deliver spec "
+                f"{deliver!r}"
+            )
+        return StepChoice(pid=pid, deliver_uids=uids)

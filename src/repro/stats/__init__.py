@@ -1,0 +1,5 @@
+"""Small descriptive-statistics helpers for benches and reports."""
+
+from repro.stats.summary import Summary, summarize, rate
+
+__all__ = ["Summary", "summarize", "rate"]

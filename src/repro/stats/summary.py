@@ -1,0 +1,47 @@
+"""Descriptive statistics without heavyweight dependencies."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """min/mean/median/max/stdev of a sample."""
+
+    count: int
+    minimum: float
+    mean: float
+    median: float
+    maximum: float
+    stdev: float
+
+    def describe(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count}: min={self.minimum:g}{suffix}, "
+            f"mean={self.mean:.3g}{suffix}, median={self.median:g}{suffix}, "
+            f"max={self.maximum:g}{suffix}, stdev={self.stdev:.3g}"
+        )
+
+
+def summarize(values: Sequence[float] | Iterable[float]) -> Summary:
+    """Compute the five-number-ish summary of a non-empty sample."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=len(data),
+        minimum=min(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        maximum=max(data),
+        stdev=statistics.pstdev(data) if len(data) > 1 else 0.0,
+    )
+
+
+def rate(hits: int, total: int) -> float:
+    """A safe ratio: 0.0 when the denominator is zero."""
+    return hits / total if total else 0.0

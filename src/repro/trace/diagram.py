@@ -1,0 +1,112 @@
+"""ASCII renderers for step runs and round runs."""
+
+from __future__ import annotations
+
+from repro.rounds.executor import RoundRun
+from repro.simulation.run import Run
+
+
+def step_diagram(run: Run, *, max_rows: int = 60) -> str:
+    """Render a step-level run as a space-time diagram.
+
+    One column per process, one row per executed step.  Cells show what
+    the stepping process did: ``s->k`` (sent to process k), ``r(j)``
+    (received from j), ``.`` (null step).  A ``X`` row marks crashes.
+    Long runs are truncated to ``max_rows`` rows with an ellipsis.
+    """
+    width = 10
+    header = "step  " + "".join(f"p{pid}".ljust(width) for pid in range(run.n))
+    lines = [header, "-" * len(header)]
+    crashed_marked: set[int] = set()
+    rows = 0
+    for step in run.schedule:
+        if rows >= max_rows:
+            lines.append(f"... ({len(run.schedule) - max_rows} more steps)")
+            break
+        # Mark crashes that happened at or before this time.
+        newly_crashed = [
+            pid
+            for pid in run.pattern.faulty
+            if pid not in crashed_marked
+            and not run.pattern.is_alive(pid, step.time)
+        ]
+        for pid in newly_crashed:
+            crashed_marked.add(pid)
+            cells = ["" for _ in range(run.n)]
+            cells[pid] = "X crash"
+            lines.append(
+                "      " + "".join(cell.ljust(width) for cell in cells)
+            )
+        actions = []
+        if step.received_uids:
+            senders = ",".join(
+                str(run.messages[uid].sender) for uid in step.received_uids
+            )
+            actions.append(f"r({senders})")
+        if step.sent_to is not None:
+            actions.append(f"s->{step.sent_to}")
+        if not actions:
+            actions.append(".")
+        cells = ["" for _ in range(run.n)]
+        cells[step.pid] = " ".join(actions)
+        lines.append(
+            f"{step.index:>4}  "
+            + "".join(cell.ljust(width) for cell in cells)
+        )
+        rows += 1
+    return "\n".join(lines)
+
+
+def round_tableau(run: RoundRun) -> str:
+    """Render a round run as a tableau: rounds × processes.
+
+    Each cell lists the senders heard that round; ``!v`` marks a
+    decision on value ``v``, ``X`` marks the crash round, ``-`` a dead
+    process.
+    """
+    width = 16
+    header = "round  " + "".join(
+        f"p{pid}".ljust(width) for pid in range(run.n)
+    )
+    lines = [header, "-" * len(header)]
+    for record in run.rounds:
+        cells = []
+        for pid in range(run.n):
+            if not run.scenario.alive_at_start(pid, record.index):
+                cells.append("-")
+                continue
+            heard = sorted(record.delivered.get(pid, {}))
+            cell = "heard:" + ("".join(str(s) for s in heard) or "none")
+            if run.decision_round(pid) == record.index:
+                cell += f" !{run.decision_value(pid)}"
+            if pid in record.crashed:
+                cell += " X"
+            cells.append(cell)
+        lines.append(
+            f"{record.index:>5}  "
+            + "".join(cell.ljust(width) for cell in cells)
+        )
+    return "\n".join(lines)
+
+
+def describe_run(run: Run) -> str:
+    """One-paragraph summary of a step run."""
+    return (
+        f"run over n={run.n}: {len(run.schedule)} steps, "
+        f"{len(run.messages)} messages, pattern {run.pattern.describe()}, "
+        f"{sum(len(v) for v in run.undelivered.values())} undelivered"
+    )
+
+
+def describe_round_run(run: RoundRun) -> str:
+    """One-paragraph summary of a round run."""
+    decisions = ", ".join(
+        f"p{pid}={value!r}@r{rnd}"
+        for pid, (rnd, value) in sorted(run.decisions.items())
+    )
+    return (
+        f"{run.algorithm_name} in {run.model.value} over n={run.n} "
+        f"(t={run.t}), values={run.values}, "
+        f"scenario=[{run.scenario.describe()}], "
+        f"{run.num_rounds} rounds, decisions: {decisions or 'none'}"
+    )

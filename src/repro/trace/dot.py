@@ -1,0 +1,128 @@
+"""Graphviz (DOT) export of runs: publication-grade space-time diagrams.
+
+The ASCII renderers in :mod:`repro.trace.diagram` are for terminals;
+these exporters emit DOT source for `dot -Tsvg`, drawing the classic
+distributed-computing space-time diagram: one horizontal lane per
+process, nodes for steps (or rounds), and arrows for messages.
+"""
+
+from __future__ import annotations
+
+from repro.rounds.executor import RoundRun
+from repro.simulation.run import Run
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def step_run_to_dot(run: Run, *, max_steps: int = 80) -> str:
+    """Render a step-level run as a DOT digraph.
+
+    Nodes are the steps a process took (``p1s3`` = process 1, local
+    step 3); grey dashed lane edges give each process's timeline;
+    solid arrows are messages (send step -> receive step).  Crashed
+    processes get a final ``CRASH`` node.
+    """
+    lines = [
+        "digraph run {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=9, width=0.3];',
+    ]
+    # Lanes: per-process chains of step nodes.
+    steps_by_pid: dict[int, list] = {pid: [] for pid in range(run.n)}
+    for step in run.schedule[:max_steps]:
+        steps_by_pid[step.pid].append(step)
+    receive_node: dict[int, str] = {}  # uid -> receiving node name
+    send_node: dict[int, str] = {}  # uid -> sending node name
+
+    for pid, steps in steps_by_pid.items():
+        previous = f"p{pid}start"
+        label = _quote(f"p{pid}")
+        lines.append(
+            f"  {previous} [shape=plaintext, label={label}];"
+        )
+        for step in steps:
+            node = f"p{pid}s{step.local_step}"
+            lines.append(
+                f"  {node} [label={_quote(str(step.local_step))}];"
+            )
+            lines.append(
+                f"  {previous} -> {node} [style=dashed, color=grey, "
+                "arrowhead=none];"
+            )
+            previous = node
+            if step.sent_uid is not None:
+                send_node[step.sent_uid] = node
+            for uid in step.received_uids:
+                receive_node[uid] = node
+        crash_time = run.pattern.crash_time(pid)
+        if crash_time is not None:
+            crash = f"p{pid}crash"
+            lines.append(
+                f"  {crash} [shape=box, color=red, label=CRASH];"
+            )
+            lines.append(
+                f"  {previous} -> {crash} [style=dashed, color=red, "
+                "arrowhead=none];"
+            )
+
+    for uid, source in send_node.items():
+        target = receive_node.get(uid)
+        if target is None:
+            continue  # undelivered within the rendered prefix
+        payload = _quote(str(run.messages[uid].payload))
+        lines.append(
+            f"  {source} -> {target} [color=blue, fontsize=8, "
+            f"label={payload}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def round_run_to_dot(run: RoundRun) -> str:
+    """Render a round-model run as a DOT digraph.
+
+    One node per (process, round) cell; message arrows from sender
+    cells to receiver cells; pending (sent-but-undelivered) messages
+    drawn dotted red; decisions annotated on the deciding cell.
+    """
+    lines = [
+        "digraph roundrun {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=9];",
+    ]
+    for pid in range(run.n):
+        previous = None
+        for record in run.rounds:
+            if not run.scenario.alive_at_start(pid, record.index):
+                break
+            node = f"p{pid}r{record.index}"
+            label = f"p{pid} r{record.index}"
+            if run.decision_round(pid) == record.index:
+                label += f"\\ndecide {run.decision_value(pid)!r}"
+            color = "red" if pid in record.crashed else "black"
+            lines.append(
+                f"  {node} [label={_quote(label)}, color={color}];"
+            )
+            if previous is not None:
+                lines.append(
+                    f"  {previous} -> {node} [style=dashed, color=grey, "
+                    "arrowhead=none];"
+                )
+            previous = node
+    for record in run.rounds:
+        for (sender, recipient), _payload in record.sent.items():
+            if sender == recipient:
+                continue
+            source = f"p{sender}r{record.index}"
+            target = f"p{recipient}r{record.index}"
+            delivered = sender in record.delivered.get(recipient, {})
+            style = (
+                "[color=blue]"
+                if delivered
+                else "[color=red, style=dotted, label=pending]"
+            )
+            lines.append(f"  {source} -> {target} {style};")
+    lines.append("}")
+    return "\n".join(lines)

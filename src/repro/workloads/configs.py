@@ -1,0 +1,27 @@
+"""Initial-configuration builders."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+
+def unanimous(n: int, value: Any = 0) -> tuple[Any, ...]:
+    """All processes propose the same value — the C_Opt fast-path case."""
+    return tuple([value] * n)
+
+
+def adversarial_split(n: int, low: Any = 0, high: Any = 1) -> tuple[Any, ...]:
+    """Process 0 proposes the minimum, everyone else the maximum.
+
+    The configuration behind most disagreement scenarios: whoever
+    learns p0's value decides differently from whoever does not.
+    """
+    return (low,) + tuple([high] * (n - 1))
+
+
+def random_values(
+    n: int, rng: random.Random, domain: Sequence[Any] = (0, 1)
+) -> tuple[Any, ...]:
+    """A uniformly random configuration over ``domain``."""
+    return tuple(rng.choice(list(domain)) for _ in range(n))

@@ -1,0 +1,89 @@
+"""Named failure scenarios, including the paper's own counterexamples."""
+
+from __future__ import annotations
+
+from repro.rounds.scenario import CrashEvent, FailureScenario, PendingMessage
+
+
+def failure_free(n: int) -> FailureScenario:
+    """No crashes, no pending messages — the Λ-defining runs."""
+    return FailureScenario.failure_free(n)
+
+
+def initially_dead_t(n: int, t: int) -> FailureScenario:
+    """The last ``t`` processes are dead from the start.
+
+    The scenario behind ``Lat(F_OptFloodSet) = 1``: every survivor
+    receives exactly ``n - t`` messages at round 1 and fast-decides.
+    """
+    return FailureScenario.initially_dead_set(
+        n, set(range(n - t, n))
+    )
+
+
+def crash_mid_broadcast(
+    n: int, pid: int = 0, round_index: int = 1, reached: tuple[int, ...] = (1,)
+) -> FailureScenario:
+    """``pid`` crashes in ``round_index`` reaching only ``reached``.
+
+    The canonical RS adversary move: a partial broadcast.
+    """
+    return FailureScenario(
+        n=n,
+        crashes=(
+            CrashEvent(
+                pid=pid, round=round_index, sent_to=frozenset(reached)
+            ),
+        ),
+    )
+
+
+def decide_then_crash_pending(n: int, pid: int = 0) -> FailureScenario:
+    """The paper's A1-in-RWS disagreement scenario (Section 5.3).
+
+    "At round 1, p1 succeeds in broadcasting v1, decides, and then
+    crashes.  In addition, suppose that all the messages sent by p1 are
+    pending."  The process completes its sends (so it may apply its
+    transition and decide on its own copy) while every other copy is
+    withheld.
+    """
+    others = frozenset(q for q in range(n) if q != pid)
+    return FailureScenario(
+        n=n,
+        crashes=(
+            CrashEvent(
+                pid=pid,
+                round=1,
+                sent_to=others,
+                applies_transition=True,
+            ),
+        ),
+        pending=frozenset(
+            PendingMessage(pid, q, 1) for q in others
+        ),
+    )
+
+
+def a1_rws_disagreement(n: int = 3) -> FailureScenario:
+    """Alias for the A1 counterexample with the paper's process naming."""
+    return decide_then_crash_pending(n, pid=0)
+
+
+def floodset_rws_violation(n: int = 3) -> FailureScenario:
+    """A scenario under which plain FloodSet disagrees in RWS (t = 1).
+
+    Process 0's round-1 broadcast is entirely pending; it then crashes
+    in round 2 having managed to send its (value-carrying) flood to
+    process 1 only.  Process 1 learns value ``v0`` in the decision
+    round; process 2 never does: with an adversarial split
+    configuration they decide different minima.  FloodSetWS's ``halt``
+    set neutralises exactly this run.
+    """
+    others = frozenset(q for q in range(n) if q != 0)
+    return FailureScenario(
+        n=n,
+        crashes=(
+            CrashEvent(pid=0, round=2, sent_to=frozenset({1})),
+        ),
+        pending=frozenset(PendingMessage(0, q, 1) for q in others),
+    )

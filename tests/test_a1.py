@@ -1,0 +1,116 @@
+"""Tests for the A1 algorithm (Figure 4, Theorem 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import latency_profile, verify_algorithm
+from repro.consensus import A1, check_uniform_consensus_run
+from repro.errors import ConfigurationError
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+from repro.workloads import a1_rws_disagreement
+
+
+class TestA1Unit:
+    def test_requires_t_equal_one(self):
+        with pytest.raises(ConfigurationError):
+            A1().initial_state(0, 3, 2, 0)
+
+    def test_requires_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            A1().initial_state(0, 1, 1, 0)
+
+    def test_only_p1_talks_in_round_one(self):
+        algorithm = A1()
+        s0 = algorithm.initial_state(0, 3, 1, 7)
+        s1 = algorithm.initial_state(1, 3, 1, 8)
+        assert algorithm.messages(0, s0) != {}
+        assert algorithm.messages(1, s1) == {}
+
+    def test_receiver_adopts_p1_value_at_round_one(self):
+        algorithm = A1()
+        state = algorithm.initial_state(2, 3, 1, 9)
+        state = algorithm.transition(2, state, {0: ("value", 4)})
+        assert state.decision == 4
+        assert state.w == 4
+
+
+class TestA1FailureFree:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_everyone_decides_v1_at_round_one(self, n):
+        values = list(range(n))
+        run = run_rs(A1(), values, FailureScenario.failure_free(n), t=1)
+        assert all(run.decision_round(p) == 1 for p in range(n))
+        assert run.decided_values() == {0}
+
+    def test_lambda_is_one(self):
+        profile = latency_profile(A1(), 3, 1, RoundModel.RS)
+        assert profile.Lambda == 1
+        assert profile.Lat == 1
+        assert profile.lat == 1
+
+
+class TestA1CrashCases:
+    def test_case_2a_partial_broadcast_relayed(self):
+        """p1 reaches only p2 before crashing; p2 relays at round 2."""
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = run_rs(A1(), [4, 5, 6], scenario, t=1)
+        assert run.decision_value(1) == 4
+        assert run.decision_value(2) == 4
+        assert run.decision_round(2) == 2
+
+    def test_case_2b_p1_reaches_nobody(self):
+        """p2 broadcasts its own value at round 2; everyone takes it."""
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = run_rs(A1(), [4, 5, 6], scenario, t=1)
+        assert run.decision_value(1) == 5
+        assert run.decision_value(2) == 5
+
+    def test_p2_crash_does_not_matter_when_p1_correct(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=1, round=1),)
+        )
+        run = run_rs(A1(), [4, 5, 6], scenario, t=1)
+        assert run.decision_value(0) == 4
+        assert run.decision_value(2) == 4
+
+    def test_theorem_5_2_exhaustively(self):
+        report = verify_algorithm(A1(), 3, 1, RoundModel.RS)
+        assert report.ok, report.first_violations()
+
+    def test_theorem_5_2_exhaustively_n4(self):
+        report = verify_algorithm(A1(), 4, 1, RoundModel.RS)
+        assert report.ok, report.first_violations()
+
+    def test_all_runs_decide_within_two_rounds(self):
+        profile = latency_profile(A1(), 3, 1, RoundModel.RS)
+        assert profile.Lat_by_failures[1] == 2
+
+
+class TestA1InRWS:
+    def test_paper_disagreement_scenario(self):
+        """Section 5.3: p1 decides on its own pending broadcast."""
+        run = run_rws(A1(), [0, 1, 1], a1_rws_disagreement(3), t=1)
+        assert run.decision_value(0) == 0  # the faulty decider
+        assert run.decision_value(1) == 1
+        assert run.decision_value(2) == 1
+        violations = check_uniform_consensus_run(run)
+        assert any(v.clause == "uniform agreement" for v in violations)
+
+    def test_enumeration_finds_violations(self):
+        report = verify_algorithm(A1(), 3, 1, RoundModel.RWS, stop_after=1)
+        assert not report.ok
+
+    def test_rws_failure_free_still_round_one(self):
+        """Failure-free RWS runs have no pending messages, so A1 still
+        decides at round 1 — the violation needs a crash."""
+        run = run_rws(A1(), [0, 1, 1], FailureScenario.failure_free(3), t=1)
+        assert all(run.decision_round(p) == 1 for p in range(3))

@@ -1,0 +1,147 @@
+"""Tests for atomic broadcast on RS and RWS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.broadcast import (
+    AtomicBroadcast,
+    AtomicBroadcastWS,
+    check_atomic_broadcast_run,
+)
+from repro.errors import ConfigurationError
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+
+# Three processes each broadcasting one tagged message.
+VALUES = (("m0",), ("m1",), ("m2",))
+
+
+def sequences(run):
+    return {pid: state.delivered for pid, state in run.final_states.items()}
+
+
+class TestFailureFree:
+    def test_everyone_delivers_everything_in_same_order(self):
+        run = run_rs(
+            AtomicBroadcast(), VALUES, FailureScenario.failure_free(3),
+            t=1, max_rounds=4,
+        )
+        seqs = sequences(run)
+        assert len({seqs[p] for p in range(3)}) == 1
+        assert set(seqs[0]) == {"m0", "m1", "m2"}
+        assert check_atomic_broadcast_run(run) == []
+
+    def test_multiple_messages_per_process(self):
+        values = (("a1", "a2"), ("b1",), ())
+        run = run_rs(
+            AtomicBroadcast(), values, FailureScenario.failure_free(3),
+            t=1, max_rounds=4,
+        )
+        assert set(sequences(run)[2]) == {"a1", "a2", "b1"}
+        assert check_atomic_broadcast_run(run) == []
+
+    def test_empty_broadcast_is_fine(self):
+        values = ((), (), ())
+        run = run_rs(
+            AtomicBroadcast(), values, FailureScenario.failure_free(3),
+            t=1, max_rounds=4,
+        )
+        assert sequences(run) == {0: (), 1: (), 2: ()}
+
+    def test_instances_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AtomicBroadcast(instances=0)
+
+    def test_decision_is_the_delivery_sequence(self):
+        run = run_rs(
+            AtomicBroadcast(), VALUES, FailureScenario.failure_free(3),
+            t=1, max_rounds=4,
+        )
+        assert run.decision_value(0) == sequences(run)[0]
+
+
+class TestCrashes:
+    def test_partial_broadcast_message_survives(self):
+        """m0 reaches only p1 in round 1; flooding spreads it anyway."""
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = run_rs(AtomicBroadcast(), VALUES, scenario, t=1, max_rounds=4)
+        seqs = sequences(run)
+        assert "m0" in seqs[1]
+        assert "m0" in seqs[2]
+        assert check_atomic_broadcast_run(run) == []
+
+    def test_initially_dead_message_is_lost_but_order_holds(self):
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = run_rs(AtomicBroadcast(), VALUES, scenario, t=1, max_rounds=4)
+        seqs = sequences(run)
+        assert "m0" not in seqs[1]
+        assert check_atomic_broadcast_run(run) == []
+
+    def test_exhaustive_rs_safety(self):
+        report = verify_algorithm(
+            AtomicBroadcast(), 3, 1, RoundModel.RS,
+            checker=check_atomic_broadcast_run,
+            domain=(("x",), ("y",)),
+            horizon=4,
+        )
+        assert report.ok, report.first_violations()
+
+
+class TestRWS:
+    def test_ws_variant_exhaustive_safety(self):
+        report = verify_algorithm(
+            AtomicBroadcastWS(), 3, 1, RoundModel.RWS,
+            checker=check_atomic_broadcast_run,
+            domain=(("x",), ("y",)),
+            horizon=4,
+        )
+        assert report.ok, report.first_violations()
+
+    def test_plain_variant_splits_delivery_sequences_in_rws(self):
+        """FloodSet's RWS anomaly lifts to broadcast: a pending batch in
+        the decision round splits the delivery *order* of two correct
+        processes — total order broken."""
+        report = verify_algorithm(
+            AtomicBroadcast(), 3, 1, RoundModel.RWS,
+            checker=check_atomic_broadcast_run,
+            domain=(("x",), ("y",)),
+            horizon=4,
+            stop_after=1,
+        )
+        assert not report.ok
+        assert any(
+            v.clause in ("uniform total order", "validity")
+            for v in report.violations
+        )
+
+    def test_ws_variant_named_scenario(self):
+        from repro.workloads import floodset_rws_violation
+
+        run = run_rws(
+            AtomicBroadcastWS(), VALUES, floodset_rws_violation(3),
+            t=1, max_rounds=4,
+        )
+        assert check_atomic_broadcast_run(run) == []
+
+
+class TestSpecChecker:
+    def test_total_order_violation_detected(self):
+        """Manufacture incompatible sequences via the plain variant."""
+        report = verify_algorithm(
+            AtomicBroadcast(), 3, 1, RoundModel.RWS,
+            checker=check_atomic_broadcast_run,
+            domain=(("x",), ("y",)),
+            horizon=4,
+        )
+        # At least one concrete violation mentions both sequences.
+        assert report.violations
+        assert "delivered" in report.violations[0].detail

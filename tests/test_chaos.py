@@ -1,0 +1,163 @@
+"""Chaos soak tests: broad randomized sweeps across the whole stack.
+
+Each test hammers one layer with a wide mix of random parameters and
+adversaries, spec-checking every run.  These complement the targeted
+exhaustive tests: exhaustiveness pins down small instances completely,
+the soak explores larger, messier corners.  All are marked slow.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.broadcast import AtomicBroadcastWS, check_atomic_broadcast_run
+from repro.commit import check_nbac_run
+from repro.commit.algorithms import PerfectFDCommit
+from repro.consensus import (
+    A1,
+    COptFloodSetWS,
+    FloodSet,
+    FloodSetWS,
+    FOptFloodSet,
+    FOptFloodSetWS,
+)
+from repro.failures import FailurePattern, random_pattern
+from repro.rounds import RoundModel
+
+
+pytestmark = pytest.mark.slow
+
+
+class TestRoundModelSoak:
+    @pytest.mark.parametrize(
+        "algorithm_cls,model",
+        [
+            (FloodSet, RoundModel.RS),
+            (FloodSetWS, RoundModel.RWS),
+            (COptFloodSetWS, RoundModel.RWS),
+            (FOptFloodSet, RoundModel.RS),
+            (FOptFloodSetWS, RoundModel.RWS),
+        ],
+        ids=lambda x: getattr(x, "__name__", x.value if hasattr(x, "value") else x),
+    )
+    @pytest.mark.parametrize("n,t", [(4, 1), (5, 2), (6, 2)])
+    def test_consensus_sampled_safety(self, algorithm_cls, model, n, t):
+        report = verify_algorithm(
+            algorithm_cls(), n, t, model,
+            sample=400, rng=random.Random(n * 100 + t),
+            domain=(0, 1, 2),
+        )
+        assert report.ok, report.first_violations()
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_a1_sampled_safety_rs(self, n):
+        report = verify_algorithm(
+            A1(), n, 1, RoundModel.RS,
+            sample=400, rng=random.Random(n),
+        )
+        assert report.ok, report.first_violations()
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_commit_sampled_safety(self, n):
+        report = verify_algorithm(
+            PerfectFDCommit(), n, 1, RoundModel.RWS,
+            checker=check_nbac_run,
+            domain=(False, True),
+            sample=400,
+            rng=random.Random(7 + n),
+        )
+        assert report.ok, report.first_violations()
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_broadcast_sampled_safety(self, n):
+        domain = tuple((f"m{i}",) for i in range(2))
+        report = verify_algorithm(
+            AtomicBroadcastWS(), n, 1, RoundModel.RWS,
+            checker=check_atomic_broadcast_run,
+            domain=domain,
+            horizon=4,
+            sample=300,
+            rng=random.Random(13 + n),
+        )
+        assert report.ok, report.first_violations()
+
+
+class TestStepModelSoak:
+    def test_ss_scheduler_long_runs_many_params(self):
+        from repro.models.ss import SSScheduler, validate_ss_run
+        from repro.simulation.automaton import IdleAutomaton
+        from repro.simulation.executor import StepExecutor
+
+        rng = random.Random(99)
+        for _ in range(15):
+            n = rng.randint(2, 6)
+            phi = rng.randint(1, 4)
+            delta = rng.randint(1, 4)
+            pattern = random_pattern(n, min(2, n - 1), 60, rng)
+            executor = StepExecutor(
+                IdleAutomaton(),
+                n,
+                pattern,
+                SSScheduler(phi, delta, rng=rng),
+            )
+            run = executor.execute(250)
+            assert validate_ss_run(run, phi, delta) == []
+
+    def test_timeout_detector_many_params(self):
+        from repro.failures import (
+            TimeoutPerfectDetector,
+            classify_history,
+            history_from_run,
+        )
+        from repro.models import SynchronousModel
+
+        rng = random.Random(41)
+        for _ in range(8):
+            n = rng.randint(2, 4)
+            phi = rng.randint(1, 2)
+            delta = rng.randint(1, 2)
+            victim = rng.randrange(n)
+            pattern = FailurePattern.with_crashes(
+                n, {victim: rng.randint(5, 60)}
+            )
+            model = SynchronousModel(phi=phi, delta=delta)
+            executor = model.executor(
+                TimeoutPerfectDetector(n, phi, delta),
+                n,
+                pattern,
+                rng=rng,
+                record_states=True,
+            )
+            run = executor.execute(600)
+            history = history_from_run(run)
+            report = classify_history(
+                history, pattern, len(run.schedule) - 1
+            )
+            assert report.matches_class("P"), report.violations
+
+    def test_ct_consensus_many_params(self):
+        from repro.fdconsensus import ct_decisions, run_ct_consensus
+
+        rng = random.Random(55)
+        for _ in range(6):
+            n = rng.choice([3, 5])
+            t = (n - 1) // 2
+            victims = rng.sample(range(n), rng.randint(0, t))
+            pattern = FailurePattern.with_crashes(
+                n, {pid: rng.randint(0, 100) for pid in victims}
+            )
+            values = [rng.randint(0, 2) for _ in range(n)]
+            run = run_ct_consensus(
+                values, pattern, rng=rng,
+                stabilization_time=rng.randint(0, 120),
+                false_suspicion_prob=rng.random() * 0.5,
+                max_steps=15_000,
+            )
+            decisions = ct_decisions(run)
+            assert len(set(decisions.values())) <= 1
+            assert set(decisions.values()) <= set(values)
+            for pid in pattern.correct:
+                assert pid in decisions

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import ALGORITHMS, SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "--ids", "E2", "--full"]
+        )
+        assert args.ids == ["E2"]
+        assert args.full
+
+    def test_unknown_algorithm_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "nope"])
+
+
+class TestCommands:
+    def test_summary_prints_table(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "FloodSet" in out
+        assert "Λ" in out
+
+    def test_sdd_prints_refutations(self, capsys):
+        assert main(["sdd"]) == 0
+        out = capsys.readouterr().out
+        assert "refuted" in out
+        assert "SS solves SDD" in out
+
+    def test_commit_prints_rates(self, capsys):
+        assert main(["commit"]) == 0
+        out = capsys.readouterr().out
+        assert "SyncCommit" in out
+        assert "commit rate" in out
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_latency_runs_for_every_algorithm(self, name, capsys):
+        assert main(["latency", name]) == 0
+        out = capsys.readouterr().out
+        assert "lat=" in out
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_show_renders_every_scenario(self, name, capsys):
+        assert main(["show", name]) == 0
+        out = capsys.readouterr().out
+        assert "round" in out
+
+    def test_experiments_single_id(self, capsys):
+        assert main(["experiments", "--ids", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "[E2]" in out and "PASS" in out
+
+    def test_experiments_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "--ids", "E99"])
+
+
+class TestDotOutput:
+    def test_show_dot_emits_graphviz(self, capsys):
+        assert main(["show", "a1-rws", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "pending" in out

@@ -1,0 +1,205 @@
+"""Tests for atomic commit: specs, algorithms, and the rate gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.commit import (
+    ABORT,
+    COMMIT,
+    check_commit_obligation,
+    check_nbac_run,
+    commit_rate,
+    compare_commit_rates,
+)
+from repro.commit.algorithms import (
+    OptimisticFDCommit,
+    PerfectFDCommit,
+    SynchronousCommit,
+    TwoPhaseCommit,
+)
+from repro.errors import ConfigurationError
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    PendingMessage,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+
+
+ALL_YES = (True, True, True)
+
+
+class TestSynchronousCommit:
+    def test_requires_t_one(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousCommit().initial_state(0, 3, 2, True)
+
+    def test_clean_all_yes_commits(self):
+        run = run_rs(
+            SynchronousCommit(), ALL_YES, FailureScenario.failure_free(3), t=1
+        )
+        assert run.decided_values() == {COMMIT}
+
+    def test_any_no_vote_aborts(self):
+        run = run_rs(
+            SynchronousCommit(),
+            (True, False, True),
+            FailureScenario.failure_free(3),
+            t=1,
+        )
+        assert run.decided_values() == {ABORT}
+
+    def test_initially_dead_voter_does_not_block_commit(self):
+        """The SDD-powered rule: never-cast votes are not waited for."""
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = run_rs(SynchronousCommit(), ALL_YES, scenario, t=1)
+        assert run.decision_value(1) == COMMIT
+        assert run.decision_value(2) == COMMIT
+
+    def test_partial_broadcast_no_vote_still_aborts(self):
+        """A NO that reached anyone is flooded to everyone — the reason
+        the optimistic rule is safe in RS (t = 1)."""
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = run_rs(
+            SynchronousCommit(), (False, True, True), scenario, t=1
+        )
+        assert run.decision_value(1) == ABORT
+        assert run.decision_value(2) == ABORT
+
+    def test_nbac_safe_exhaustively(self):
+        report = verify_algorithm(
+            SynchronousCommit(), 3, 1, RoundModel.RS,
+            checker=check_nbac_run, domain=(False, True),
+        )
+        assert report.ok, report.first_violations()
+
+    def test_commit_obligation_holds_in_rs(self):
+        """all-YES + nobody initially dead => COMMIT, despite crashes."""
+        from repro.rounds.enumeration import all_scenarios
+        from repro.rounds.executor import execute
+
+        for scenario in all_scenarios(3, 1, max_round=2, allow_pending=False):
+            run = execute(
+                SynchronousCommit(), ALL_YES, scenario,
+                t=1, model=RoundModel.RS, max_rounds=4, validate=False,
+            )
+            assert check_commit_obligation(run) == []
+
+
+class TestPerfectFDCommit:
+    def test_clean_all_yes_commits(self):
+        run = run_rws(
+            PerfectFDCommit(), ALL_YES, FailureScenario.failure_free(3), t=1
+        )
+        assert run.decided_values() == {COMMIT}
+
+    def test_pending_yes_vote_forces_abort(self):
+        """The cost of safety in RWS: an invisible YES aborts."""
+        scenario = FailureScenario(
+            n=3,
+            crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1, 2})),),
+            pending=frozenset(
+                {PendingMessage(0, 1, 1), PendingMessage(0, 2, 1)}
+            ),
+        )
+        run = run_rws(PerfectFDCommit(), ALL_YES, scenario, t=1)
+        assert run.decision_value(1) == ABORT
+        assert run.decision_value(2) == ABORT
+        # ... and that abort violates the *obligation* (not NBAC itself).
+        assert check_nbac_run(run) == []
+        assert check_commit_obligation(run)
+
+    def test_nbac_safe_exhaustively(self):
+        report = verify_algorithm(
+            PerfectFDCommit(), 3, 1, RoundModel.RWS,
+            checker=check_nbac_run, domain=(False, True),
+        )
+        assert report.ok, report.first_violations()
+
+
+class TestOptimisticFDCommit:
+    def test_pending_no_vote_breaks_commit_validity(self):
+        scenario = FailureScenario(
+            n=3,
+            crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),),
+            pending=frozenset({PendingMessage(0, 1, 1)}),
+        )
+        run = run_rws(
+            OptimisticFDCommit(), (False, True, True), scenario, t=1
+        )
+        violations = check_nbac_run(run)
+        assert any(v.clause == "commit validity" for v in violations)
+
+    def test_unsafe_exhaustively(self):
+        report = verify_algorithm(
+            OptimisticFDCommit(), 3, 1, RoundModel.RWS,
+            checker=check_nbac_run, domain=(False, True), stop_after=1,
+        )
+        assert not report.ok
+
+
+class TestTwoPhaseCommit:
+    def test_clean_all_yes_commits(self):
+        run = run_rs(
+            TwoPhaseCommit(), ALL_YES, FailureScenario.failure_free(3), t=1
+        )
+        assert run.decided_values() == {COMMIT}
+
+    def test_no_vote_aborts(self):
+        run = run_rs(
+            TwoPhaseCommit(),
+            (True, True, False),
+            FailureScenario.failure_free(3),
+            t=1,
+        )
+        assert run.decided_values() == {ABORT}
+
+    def test_coordinator_crash_blocks_participants(self):
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = run_rs(TwoPhaseCommit(), ALL_YES, scenario, t=1, max_rounds=4)
+        violations = check_nbac_run(run)
+        assert any(v.clause == "termination" for v in violations)
+
+
+class TestCommitRates:
+    def test_sync_commit_rate_is_total_on_all_yes(self):
+        report = commit_rate(SynchronousCommit(), RoundModel.RS)
+        assert report.commit_rate == 1.0
+        assert report.safe
+
+    def test_safe_rws_rate_strictly_below_sync(self):
+        sync = commit_rate(SynchronousCommit(), RoundModel.RS)
+        safe = commit_rate(PerfectFDCommit(), RoundModel.RWS)
+        assert safe.commit_rate < sync.commit_rate
+        assert safe.safe
+
+    def test_compare_returns_all_four(self):
+        reports = compare_commit_rates(n=3, t=1)
+        assert set(reports) == {
+            "SyncCommit@RS",
+            "P-Commit@RWS",
+            "OptimisticP-Commit@RWS",
+            "2PC@RS",
+        }
+
+    def test_cast_no_votes_never_commit(self):
+        report = commit_rate(
+            SynchronousCommit(), RoundModel.RS, votes=(False, True, True)
+        )
+        # Exactly one run commits: the one where the NO voter is
+        # initially dead and thus never *cast* its vote (the paper's
+        # proviso).  Every run where the NO was cast aborts, and no
+        # NBAC clause is violated anywhere.
+        assert report.commits == 1
+        assert report.safe
+
+    def test_2pc_has_undecided_runs(self):
+        report = commit_rate(TwoPhaseCommit(), RoundModel.RS)
+        assert report.undecided > 0
+        assert not report.safe  # blocking = termination violations

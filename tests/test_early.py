@@ -1,0 +1,132 @@
+"""Tests for the early-deciding algorithms and the uniform gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.consensus import (
+    EagerFloodSetWS,
+    EarlyDecidingConsensus,
+    EarlyDecidingUniformFloodSet,
+    check_consensus_run,
+)
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+
+
+class TestEarlyDecidingConsensus:
+    def test_failure_free_decides_at_round_one(self):
+        run = run_rs(
+            EarlyDecidingConsensus(),
+            [0, 1, 1, 1],
+            FailureScenario.failure_free(4),
+            t=2,
+        )
+        assert all(run.decision_round(p) == 1 for p in range(4))
+
+    def test_one_failure_decides_by_round_two(self):
+        scenario = FailureScenario(
+            n=4, crashes=(CrashEvent(pid=0, round=1),)
+        )
+        run = run_rs(EarlyDecidingConsensus(), [0, 1, 1, 1], scenario, t=2,
+                     max_rounds=5)
+        for pid in (1, 2, 3):
+            assert run.decision_round(pid) <= 2
+
+    def test_consensus_safe_in_rs(self):
+        report = verify_algorithm(
+            EarlyDecidingConsensus(), 4, 2, RoundModel.RS,
+            checker=check_consensus_run, horizon=5,
+        )
+        assert report.ok, report.first_violations()
+
+    def test_not_uniform_in_rs(self):
+        report = verify_algorithm(
+            EarlyDecidingConsensus(), 4, 2, RoundModel.RS,
+            stop_after=1, horizon=5,
+        )
+        assert not report.ok
+
+    def test_the_canonical_violation(self):
+        """p0's low value reaches only p1; p1 decides it and dies mute."""
+        scenario = FailureScenario(
+            n=4,
+            crashes=(
+                CrashEvent(pid=0, round=1, sent_to=frozenset({1})),
+                CrashEvent(
+                    pid=1,
+                    round=1,
+                    sent_to=frozenset({0, 2, 3}),
+                    applies_transition=True,
+                ),
+            ),
+        )
+        run = run_rs(
+            EarlyDecidingConsensus(), [0, 1, 1, 1], scenario, t=2,
+            max_rounds=5,
+        )
+        assert run.decision_value(1) == 0  # decided, then crashed
+        assert run.decision_value(2) == 1
+        assert run.decision_value(3) == 1
+
+
+class TestEarlyUniform:
+    def test_uniform_safe_in_rs_t2(self):
+        report = verify_algorithm(
+            EarlyDecidingUniformFloodSet(), 4, 2, RoundModel.RS, horizon=6
+        )
+        assert report.ok, report.first_violations()
+
+    def test_uniform_safe_in_rs_t1(self):
+        report = verify_algorithm(
+            EarlyDecidingUniformFloodSet(), 3, 1, RoundModel.RS, horizon=5
+        )
+        assert report.ok, report.first_violations()
+
+    def test_failure_free_decides_at_round_two(self):
+        run = run_rs(
+            EarlyDecidingUniformFloodSet(),
+            [0, 1, 1],
+            FailureScenario.failure_free(3),
+            t=1,
+            max_rounds=5,
+        )
+        assert all(run.decision_round(p) == 2 for p in range(3))
+
+
+class TestEagerFloodSetWS:
+    """The RWS witness of the consensus/uniform-consensus gap."""
+
+    def test_consensus_safe_in_rws(self):
+        report = verify_algorithm(
+            EagerFloodSetWS(), 3, 1, RoundModel.RWS,
+            checker=check_consensus_run,
+        )
+        assert report.ok, report.first_violations()
+
+    def test_not_uniform_in_rws(self):
+        report = verify_algorithm(
+            EagerFloodSetWS(), 3, 1, RoundModel.RWS, stop_after=1
+        )
+        assert not report.ok
+
+    def test_failure_free_decides_at_round_one(self):
+        run = run_rws(
+            EagerFloodSetWS(), [0, 1, 1], FailureScenario.failure_free(3), t=1
+        )
+        assert all(run.decision_round(p) == 1 for p in range(3))
+
+    def test_violation_is_decide_then_crash(self):
+        """Every uniform violation involves a faulty round-1 decider."""
+        report = verify_algorithm(
+            EagerFloodSetWS(), 3, 1, RoundModel.RWS
+        )
+        assert report.violations
+        for violation in report.violations:
+            assert violation.clause == "uniform agreement"

@@ -1,0 +1,162 @@
+"""Edge-case tests: minimal systems, wider domains, boundary horizons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import latency_profile, verify_algorithm
+from repro.consensus import (
+    A1,
+    COptFloodSet,
+    FloodSet,
+    FloodSetWS,
+    FOptFloodSet,
+)
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+
+
+class TestTwoProcessSystems:
+    """n = 2, t = 1: the smallest system the paper's claims apply to."""
+
+    @pytest.mark.parametrize(
+        "algorithm_cls", [FloodSet, FloodSetWS, COptFloodSet, FOptFloodSet, A1]
+    )
+    def test_rs_safety(self, algorithm_cls):
+        report = verify_algorithm(algorithm_cls(), 2, 1, RoundModel.RS)
+        assert report.ok, report.first_violations()
+
+    def test_floodsetws_rws_safety(self):
+        report = verify_algorithm(FloodSetWS(), 2, 1, RoundModel.RWS)
+        assert report.ok, report.first_violations()
+
+    def test_a1_lambda_one_even_for_n2(self):
+        profile = latency_profile(A1(), 2, 1, RoundModel.RS)
+        assert profile.Lambda == 1
+
+    def test_lone_survivor_decides_own_value(self):
+        scenario = FailureScenario.initially_dead_set(2, {0})
+        run = run_rs(FloodSet(), [0, 1], scenario, t=1)
+        assert run.decision_value(1) == 1
+
+    def test_sdd_is_the_n2_case(self):
+        """A1 with n=2 degenerates to an SDD-like exchange: p0's value
+        reaches p1 at round 1 or p1 falls back to its own at round 2."""
+        run = run_rs(
+            A1(), [4, 9], FailureScenario.failure_free(2), t=1
+        )
+        assert run.decision_value(1) == 4
+        scenario = FailureScenario.initially_dead_set(2, {0})
+        run = run_rs(A1(), [4, 9], scenario, t=1)
+        assert run.decision_value(1) == 9
+
+
+class TestWiderValueDomains:
+    def test_floodset_ternary_domain_exhaustive(self):
+        report = verify_algorithm(
+            FloodSet(), 3, 1, RoundModel.RS, domain=(0, 1, 2)
+        )
+        assert report.ok, report.first_violations()
+
+    def test_floodsetws_ternary_rws(self):
+        report = verify_algorithm(
+            FloodSetWS(), 3, 1, RoundModel.RWS, domain=(0, 1, 2)
+        )
+        assert report.ok, report.first_violations()
+
+    def test_min_decision_respects_total_order(self):
+        run = run_rs(
+            FloodSet(), [2, 1, 0], FailureScenario.failure_free(3), t=1
+        )
+        assert run.decided_values() == {0}
+
+    def test_string_values_work(self):
+        run = run_rs(
+            FloodSet(),
+            ["banana", "apple", "cherry"],
+            FailureScenario.failure_free(3),
+            t=1,
+        )
+        assert run.decided_values() == {"apple"}  # lexicographic min
+
+
+class TestHorizonBoundaries:
+    def test_exact_horizon_suffices(self):
+        run = run_rs(
+            FloodSet(), [0, 1, 1], FailureScenario.failure_free(3),
+            t=1, max_rounds=2,
+        )
+        assert run.all_correct_decided()
+
+    def test_too_short_horizon_reports_incomplete(self):
+        run = run_rs(
+            FloodSet(), [0, 1, 1], FailureScenario.failure_free(3),
+            t=1, max_rounds=1,
+        )
+        assert run.latency() is None
+        assert not run.all_correct_decided()
+
+    def test_crash_in_last_round(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=2, sent_to=frozenset()),)
+        )
+        run = run_rs(FloodSet(), [0, 1, 1], scenario, t=1)
+        # p0's value was broadcast in round 1; survivors still decide 0.
+        assert run.decision_value(1) == 0
+        assert run.decision_value(2) == 0
+
+
+class TestLateCrashes:
+    def test_crash_after_deciding_keeps_uniformity_visible(self):
+        """A process that decides at t+1 and then 'crashes' in a later
+        round has its decision recorded — the uniform check sees it."""
+        scenario = FailureScenario(
+            n=3,
+            crashes=(
+                CrashEvent(
+                    pid=0,
+                    round=2,
+                    sent_to=frozenset({1, 2}),
+                    applies_transition=True,
+                ),
+            ),
+        )
+        run = run_rs(FloodSet(), [0, 1, 1], scenario, t=1)
+        assert run.decision_value(0) == 0
+        assert run.decision_value(1) == 0
+
+    def test_pending_in_round_two_respects_window(self):
+        """A round-2 pending message needs the sender dead by round 3 —
+        admissible when the sender crashes in round 2 itself."""
+        from repro.rounds import PendingMessage, validate_scenario
+
+        scenario = FailureScenario(
+            n=3,
+            crashes=(
+                CrashEvent(pid=0, round=2, sent_to=frozenset({1, 2})),
+            ),
+            pending=frozenset({PendingMessage(0, 1, 2)}),
+        )
+        assert validate_scenario(scenario, t=1, allow_pending=True) == []
+        run = run_rws(FloodSetWS(), [0, 1, 1], scenario, t=1)
+        assert run.all_correct_decided()
+
+
+class TestZeroResilience:
+    """t = 0: FloodSet degenerates to one round of exchange."""
+
+    def test_floodset_t0_single_round(self):
+        run = run_rs(
+            FloodSet(), [2, 0, 1], FailureScenario.failure_free(3), t=0
+        )
+        assert all(run.decision_round(p) == 1 for p in range(3))
+        assert run.decided_values() == {0}
+
+    def test_t0_exhaustive(self):
+        report = verify_algorithm(FloodSet(), 3, 0, RoundModel.RS)
+        assert report.ok, report.first_violations()

@@ -1,0 +1,118 @@
+"""Tests for the RS-on-SS emulation (Section 4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consensus import A1, FloodSet
+from repro.emulation import (
+    check_emulated_round_synchrony,
+    emulate_rs_on_ss,
+    round_deadlines,
+)
+from repro.errors import ConfigurationError
+from repro.failures import FailurePattern, random_pattern
+from repro.models import validate_ss_run
+
+
+class TestDeadlines:
+    def test_recurrence_phi_one_is_linear(self):
+        # S_r = S_{r-1} + n + Δ + 1 for Φ = 1.
+        deadlines = round_deadlines(3, 1, 1, 4)
+        diffs = [b - a for a, b in zip([0] + deadlines, deadlines)]
+        assert diffs == [5, 5, 5, 5]
+
+    def test_recurrence_phi_two_grows(self):
+        deadlines = round_deadlines(3, 2, 1, 3)
+        diffs = [b - a for a, b in zip([0] + deadlines, deadlines)]
+        assert diffs[1] > diffs[0]
+
+    def test_formula_first_round(self):
+        assert round_deadlines(4, 2, 3, 1) == [2 * (0 + 4) + 3 + 1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            round_deadlines(1, 1, 1, 2)
+        with pytest.raises(ConfigurationError):
+            round_deadlines(3, 0, 1, 2)
+
+
+class TestEmulationCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_synchrony_holds(self, seed):
+        rng = random.Random(seed)
+        pattern = random_pattern(3, 1, 25, rng)
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1,
+            phi=1, delta=1, num_rounds=2, rng=rng,
+        )
+        assert check_emulated_round_synchrony(trace) == []
+
+    @pytest.mark.parametrize("phi,delta", [(1, 1), (2, 2)])
+    def test_underlying_run_is_ss_admissible(self, phi, delta):
+        rng = random.Random(3)
+        pattern = FailurePattern.with_crashes(3, {2: 20})
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1,
+            phi=phi, delta=delta, num_rounds=2, rng=rng,
+        )
+        assert validate_ss_run(trace.run, phi, delta) == []
+
+    def test_crash_free_matches_direct_rs_decision(self):
+        trace = emulate_rs_on_ss(
+            FloodSet(), [2, 0, 1], FailurePattern.crash_free(3), t=1,
+            num_rounds=2, rng=random.Random(0),
+        )
+        assert all(
+            trace.decisions[pid] == (2, 0) for pid in range(3)
+        )
+
+    def test_uniform_agreement_over_random_crashes(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            pattern = FailurePattern.with_crashes(
+                3, {seed % 3: rng.randint(0, 20)}
+            )
+            trace = emulate_rs_on_ss(
+                FloodSet(), [0, 1, 1], pattern, t=1,
+                num_rounds=2, rng=rng,
+            )
+            decided = {
+                trace.decisions[pid][1]
+                for pid in range(3)
+                if trace.decisions[pid] is not None
+            }
+            assert len(decided) <= 1
+
+    def test_a1_round_one_decision_survives_emulation(self):
+        trace = emulate_rs_on_ss(
+            A1(), [7, 8, 9], FailurePattern.crash_free(3), t=1,
+            num_rounds=2, rng=random.Random(1),
+        )
+        assert all(trace.decisions[pid] == (1, 7) for pid in range(3))
+
+    def test_crashed_process_completes_fewer_rounds(self):
+        pattern = FailurePattern.with_crashes(3, {1: 3})
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1,
+            num_rounds=2, rng=random.Random(2),
+        )
+        assert trace.completed_rounds[1] < 2
+        assert trace.completed_rounds[0] == 2
+
+    def test_step_cost_matches_deadlines(self):
+        """Every correct process finishes within ~n x S_R global steps."""
+        deadline = round_deadlines(3, 1, 1, 2)[-1]
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], FailurePattern.crash_free(3), t=1,
+            num_rounds=2, rng=random.Random(4),
+        )
+        assert len(trace.run.schedule) <= 3 * (deadline + 2)
+
+    def test_values_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            emulate_rs_on_ss(
+                FloodSet(), [0, 1], FailurePattern.crash_free(3), t=1
+            )

@@ -1,0 +1,177 @@
+"""Unit tests for the emulation automata's internal mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import FloodSet
+from repro.emulation.rs_on_ss import RoundOnSSAutomaton, round_deadlines
+from repro.emulation.rws_on_sp import RoundOnSPAutomaton
+from repro.errors import ConfigurationError
+from repro.simulation.automaton import StepContext
+from repro.simulation.message import Message
+
+
+def make_rs_automaton(n=3, phi=1, delta=1, rounds=2):
+    return RoundOnSSAutomaton(
+        FloodSet(), n, 1, [0, 1, 2][:n], phi, delta, rounds
+    )
+
+
+def ctx(automaton, pid, state, received=(), suspects=None, local_step=1):
+    messages = tuple(
+        Message(uid=i, sender=sender, recipient=pid, payload=payload,
+                sent_step=0)
+        for i, (sender, payload) in enumerate(received)
+    )
+    return StepContext(
+        pid=pid,
+        n=automaton.n,
+        state=state,
+        received=messages,
+        local_step=local_step,
+        suspects=suspects,
+    )
+
+
+class TestRoundOnSSInternals:
+    def test_initial_outbox_excludes_self(self):
+        automaton = make_rs_automaton()
+        state = automaton.initial_state(0, 3)
+        recipients = [recipient for recipient, _ in state.outbox]
+        assert recipients == [1, 2]
+        assert state.self_payload == frozenset({0})
+
+    def test_sends_one_message_per_step(self):
+        automaton = make_rs_automaton()
+        state = automaton.initial_state(0, 3)
+        outcome = automaton.on_step(ctx(automaton, 0, state))
+        assert outcome.send_to == 1
+        round_tag, payload = outcome.payload
+        assert round_tag == 1
+        assert payload == frozenset({0})
+        assert len(outcome.state.outbox) == 1
+
+    def test_received_messages_filed_by_round(self):
+        automaton = make_rs_automaton()
+        state = automaton.initial_state(0, 3)
+        outcome = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(1, (2, frozenset({9})))])
+        )
+        assert outcome.state.inbox[2][1] == frozenset({9})
+
+    def test_transition_fires_exactly_at_deadline(self):
+        automaton = make_rs_automaton()
+        deadline = automaton.deadlines[0]
+        state = automaton.initial_state(0, 3)
+        for step in range(1, deadline + 1):
+            outcome = automaton.on_step(
+                ctx(automaton, 0, state, local_step=step)
+            )
+            state = outcome.state
+        assert state.round == 2  # advanced exactly at the deadline step
+        assert state.delivered_log[0][0] == 1
+
+    def test_self_payload_counts_as_delivered(self):
+        automaton = make_rs_automaton()
+        deadline = automaton.deadlines[0]
+        state = automaton.initial_state(0, 3)
+        for step in range(1, deadline + 1):
+            state = automaton.on_step(
+                ctx(automaton, 0, state, local_step=step)
+            ).state
+        _, senders = state.delivered_log[0]
+        assert 0 in senders  # own broadcast received by itself
+
+    def test_finished_after_last_round(self):
+        automaton = make_rs_automaton(rounds=1)
+        deadline = automaton.deadlines[0]
+        state = automaton.initial_state(0, 3)
+        for step in range(1, deadline + 1):
+            state = automaton.on_step(
+                ctx(automaton, 0, state, local_step=step)
+            ).state
+        assert state.finished
+        # Further steps are inert.
+        outcome = automaton.on_step(
+            ctx(automaton, 0, state, local_step=deadline + 1)
+        )
+        assert outcome.send_to is None
+
+    def test_values_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            RoundOnSSAutomaton(FloodSet(), 3, 1, [0, 1], 1, 1, 2)
+
+    def test_deadlines_monotone(self):
+        deadlines = round_deadlines(4, 2, 3, 5)
+        assert all(b > a for a, b in zip(deadlines, deadlines[1:]))
+
+
+class TestRoundOnSPInternals:
+    def make_automaton(self, rounds=2):
+        return RoundOnSPAutomaton(FloodSet(), 3, 1, [0, 1, 2], rounds)
+
+    def test_round_completion_needs_all_sends_first(self):
+        automaton = self.make_automaton()
+        state = automaton.initial_state(0, 3)
+        # First step sends to p1; outbox still holds p2's copy, so the
+        # round cannot complete even with everything heard + suspected.
+        outcome = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(1, (1, frozenset({1}))), (2, (1, frozenset({2})))])
+        )
+        assert outcome.state.round == 1
+        assert outcome.send_to == 1
+
+    def test_completes_on_heard_from_everyone(self):
+        automaton = self.make_automaton()
+        state = automaton.initial_state(0, 3)
+        state = automaton.on_step(ctx(automaton, 0, state)).state
+        state = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(1, (1, frozenset({1}))), (2, (1, frozenset({2})))])
+        ).state
+        assert state.round == 2
+
+    def test_completes_on_suspicion_of_silent_peer(self):
+        automaton = self.make_automaton()
+        state = automaton.initial_state(0, 3)
+        state = automaton.on_step(ctx(automaton, 0, state)).state
+        state = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(1, (1, frozenset({1})))],
+                suspects=frozenset({2}))
+        ).state
+        assert state.round == 2
+        # p2's message never arrived: the round was closed without it —
+        # a pending message from the abstraction's point of view.
+        assert 2 not in state.delivered_log[0][1]
+
+    def test_waits_without_message_or_suspicion(self):
+        automaton = self.make_automaton()
+        state = automaton.initial_state(0, 3)
+        state = automaton.on_step(ctx(automaton, 0, state)).state
+        state = automaton.on_step(
+            ctx(automaton, 0, state, suspects=frozenset())
+        ).state
+        assert state.round == 1  # still waiting on p1 and p2
+
+    def test_late_message_of_closed_round_is_ignored(self):
+        automaton = self.make_automaton()
+        state = automaton.initial_state(0, 3)
+        state = automaton.on_step(ctx(automaton, 0, state)).state
+        state = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(1, (1, frozenset({1})))],
+                suspects=frozenset({2}))
+        ).state
+        assert state.round == 2
+        # p2's round-1 message arrives late: filed, but round 1's
+        # delivered_log stays as recorded at completion time.
+        state = automaton.on_step(
+            ctx(automaton, 0, state,
+                received=[(2, (1, frozenset({2})))],
+                suspects=frozenset({2}))
+        ).state
+        assert 2 not in state.delivered_log[0][1]

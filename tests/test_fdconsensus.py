@@ -1,0 +1,160 @@
+"""Tests for the Chandra–Toueg ◊S rotating-coordinator consensus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import FailurePattern
+from repro.fdconsensus import (
+    ChandraTouegConsensus,
+    ct_decisions,
+    run_ct_consensus,
+)
+
+
+def check_safety(run, values, pattern):
+    """Uniform agreement + validity + termination of correct processes."""
+    decisions = ct_decisions(run)
+    assert set(decisions.values()) <= set(values), "validity broken"
+    assert len(set(decisions.values())) <= 1, "uniform agreement broken"
+    for pid in pattern.correct:
+        assert pid in decisions, f"correct p{pid} never decided"
+    return decisions
+
+
+class TestConfiguration:
+    def test_majority_requirement(self):
+        with pytest.raises(ConfigurationError):
+            ChandraTouegConsensus(4, 2, [0, 1, 0, 1])  # n = 2t
+
+    def test_values_length(self):
+        with pytest.raises(ConfigurationError):
+            ChandraTouegConsensus(3, 1, [0, 1])
+
+    def test_coordinator_rotation(self):
+        algorithm = ChandraTouegConsensus(3, 1, [0, 0, 0])
+        assert [algorithm.coordinator(r) for r in (1, 2, 3, 4)] == [0, 1, 2, 0]
+
+
+class TestFailureFree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_and_validity(self, seed):
+        rng = random.Random(seed)
+        pattern = FailurePattern.crash_free(3)
+        values = [rng.randint(0, 3) for _ in range(3)]
+        run = run_ct_consensus(values, pattern, rng=rng)
+        check_safety(run, values, pattern)
+
+    def test_instant_stabilisation_decides_on_coordinator_estimate(self):
+        """With no suspicions at all, round 1's coordinator (p0) gets a
+        majority of ACKs and everyone decides p0's proposal — which,
+        with all timestamps 0, is some initial value."""
+        pattern = FailurePattern.crash_free(3)
+        run = run_ct_consensus(
+            [7, 8, 9], pattern,
+            rng=random.Random(1),
+            stabilization_time=0,
+            false_suspicion_prob=0.0,
+        )
+        decisions = check_safety(run, [7, 8, 9], pattern)
+        assert set(decisions.values()) <= {7, 8, 9}
+
+
+class TestCrashes:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_coordinator_crash_is_survived(self, seed):
+        """p0 (round-1 coordinator) dies; rounds rotate past it."""
+        rng = random.Random(seed)
+        pattern = FailurePattern.with_crashes(3, {0: rng.randint(0, 40)})
+        values = [0, 1, 1]
+        run = run_ct_consensus(values, pattern, rng=rng)
+        check_safety(run, values, pattern)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_n5_t2_two_crashes(self, seed):
+        rng = random.Random(seed)
+        victims = rng.sample(range(5), 2)
+        pattern = FailurePattern.with_crashes(
+            5, {pid: rng.randint(0, 80) for pid in victims}
+        )
+        values = [rng.randint(0, 1) for _ in range(5)]
+        run = run_ct_consensus(
+            values, pattern, rng=rng, max_steps=12_000
+        )
+        check_safety(run, values, pattern)
+
+    def test_initially_dead_coordinator(self):
+        pattern = FailurePattern.with_crashes(3, {0: 0})
+        run = run_ct_consensus([0, 1, 1], pattern, rng=random.Random(3))
+        decisions = check_safety(run, [0, 1, 1], pattern)
+        # p0's value died with it; survivors decide among their own.
+        assert set(decisions.values()) <= {1}
+
+
+class TestUnreliableDetection:
+    """The ◊S regime: the detector lies before stabilisation."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_false_suspicions_never_break_safety(self, seed):
+        rng = random.Random(seed)
+        pattern = FailurePattern.crash_free(3)
+        values = [0, 1, 1]
+        run = run_ct_consensus(
+            values, pattern, rng=rng,
+            stabilization_time=120,
+            false_suspicion_prob=0.5,
+            max_steps=12_000,
+        )
+        check_safety(run, values, pattern)
+
+    def test_late_stabilisation_costs_rounds_not_safety(self):
+        """Compare rounds used under instant vs late stabilisation."""
+        pattern = FailurePattern.crash_free(3)
+
+        def rounds_used(stabilization):
+            run = run_ct_consensus(
+                [0, 1, 1], pattern,
+                rng=random.Random(5),
+                stabilization_time=stabilization,
+                false_suspicion_prob=0.6,
+                max_steps=15_000,
+            )
+            check_safety(run, [0, 1, 1], pattern)
+            return max(
+                state.round for state in run.final_states.values()
+            )
+
+        assert rounds_used(0) <= rounds_used(150)
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decisions_of_faulty_processes_also_agree(self, seed):
+        """Uniform agreement: a process that decided then crashed still
+        decided the same value (quorum locking)."""
+        rng = random.Random(seed)
+        pattern = FailurePattern.with_crashes(3, {1: rng.randint(50, 200)})
+        values = [0, 1, 1]
+        run = run_ct_consensus(values, pattern, rng=rng)
+        decisions = ct_decisions(run)
+        assert len(set(decisions.values())) <= 1
+
+    def test_timestamp_locking_preserves_decided_value(self):
+        """A decided value is carried by a majority's timestamps: after
+        any decision, every later estimate pick must return it.  Tested
+        indirectly over many adversarial seeds."""
+        for seed in range(10):
+            rng = random.Random(seed)
+            pattern = FailurePattern.with_crashes(
+                3, {seed % 3: rng.randint(30, 150)}
+            )
+            values = [rng.randint(0, 2) for _ in range(3)]
+            run = run_ct_consensus(
+                values, pattern, rng=rng,
+                stabilization_time=80, false_suspicion_prob=0.4,
+                max_steps=12_000,
+            )
+            assert len(set(ct_decisions(run).values())) <= 1

@@ -1,0 +1,156 @@
+"""Tests for FloodSet (Figure 1) and FloodSetWS (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import latency_profile, verify_algorithm
+from repro.consensus import FloodSet, FloodSetWS, check_uniform_consensus_run
+from repro.rounds import (
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+from repro.workloads import crash_mid_broadcast, floodset_rws_violation
+
+
+class TestFloodSetUnit:
+    def test_initial_state_is_singleton(self):
+        state = FloodSet().initial_state(0, 3, 1, 7)
+        assert state.W == frozenset({7})
+        assert state.decision is None
+
+    def test_messages_broadcast_w_through_round_t_plus_one(self):
+        algorithm = FloodSet()
+        state = algorithm.initial_state(0, 3, 1, 0)
+        assert set(algorithm.messages(0, state)) == {0, 1, 2}
+
+    def test_messages_stop_after_t_plus_one_rounds(self):
+        algorithm = FloodSet()
+        state = algorithm.initial_state(0, 3, 1, 0)
+        state = algorithm.transition(0, state, {0: frozenset({0})})
+        state = algorithm.transition(0, state, {})
+        assert algorithm.messages(0, state) == {}
+
+    def test_transition_unions_received_sets(self):
+        algorithm = FloodSet()
+        state = algorithm.initial_state(0, 3, 1, 2)
+        state = algorithm.transition(
+            0, state, {1: frozenset({0}), 2: frozenset({1})}
+        )
+        assert state.W == frozenset({0, 1, 2})
+
+    def test_decides_min_at_round_t_plus_one(self):
+        algorithm = FloodSet()
+        state = algorithm.initial_state(0, 3, 1, 2)
+        state = algorithm.transition(0, state, {1: frozenset({1})})
+        assert state.decision is None
+        state = algorithm.transition(0, state, {})
+        assert state.decision == 1
+
+    def test_halted_once_decided(self):
+        algorithm = FloodSet()
+        state = algorithm.initial_state(0, 2, 0, 5)
+        assert not algorithm.halted(0, state)
+        state = algorithm.transition(0, state, {})
+        assert algorithm.halted(0, state)
+
+
+class TestFloodSetInRS:
+    @pytest.mark.parametrize("n,t", [(2, 1), (3, 1), (3, 2), (4, 2)])
+    def test_uniform_consensus_exhaustively(self, n, t):
+        report = verify_algorithm(FloodSet(), n, t, RoundModel.RS)
+        assert report.ok, report.first_violations()
+
+    @pytest.mark.parametrize("n,t", [(3, 1), (4, 2)])
+    def test_latency_is_exactly_t_plus_one(self, n, t):
+        profile = latency_profile(FloodSet(), n, t, RoundModel.RS)
+        assert profile.lat == t + 1
+        assert profile.Lat == t + 1
+        assert profile.Lambda == t + 1
+
+    def test_partial_broadcast_value_still_propagates(self):
+        run = run_rs(
+            FloodSet(), [0, 1, 1], crash_mid_broadcast(3, reached=(1,)), t=1
+        )
+        assert run.decision_value(1) == 0
+        assert run.decision_value(2) == 0
+
+
+class TestFloodSetInRWS:
+    def test_paper_violation_scenario(self):
+        """Plain FloodSet disagrees under the pending-value scenario."""
+        run = run_rws(
+            FloodSet(), [0, 1, 1], floodset_rws_violation(3), t=1
+        )
+        violations = check_uniform_consensus_run(run)
+        assert any(v.clause == "uniform agreement" for v in violations)
+        # Concretely: p1 saw the smuggled 0, p2 did not.
+        assert run.decision_value(1) == 0
+        assert run.decision_value(2) == 1
+
+    def test_violation_found_by_enumeration(self):
+        report = verify_algorithm(
+            FloodSet(), 3, 1, RoundModel.RWS, stop_after=1
+        )
+        assert not report.ok
+
+
+class TestFloodSetWS:
+    def test_halt_grows_on_silence(self):
+        algorithm = FloodSetWS()
+        state = algorithm.initial_state(0, 3, 1, 0)
+        state = algorithm.transition(0, state, {0: frozenset({0})})
+        assert state.halt == frozenset({1, 2})
+
+    def test_halted_senders_are_ignored(self):
+        algorithm = FloodSetWS()
+        state = algorithm.initial_state(0, 3, 1, 1)
+        state = algorithm.transition(0, state, {0: frozenset({1})})
+        assert 2 in state.halt
+        # p2's late message carries 0 — must be discarded.
+        state = algorithm.transition(
+            0, state, {0: frozenset({1}), 2: frozenset({0})}
+        )
+        assert 0 not in state.W
+
+    def test_survives_the_floodset_killer_scenario(self):
+        run = run_rws(
+            FloodSetWS(), [0, 1, 1], floodset_rws_violation(3), t=1
+        )
+        assert check_uniform_consensus_run(run) == []
+        assert run.decision_value(1) == run.decision_value(2) == 1
+
+    @pytest.mark.parametrize("model", [RoundModel.RS, RoundModel.RWS])
+    def test_uniform_consensus_exhaustively(self, model):
+        report = verify_algorithm(FloodSetWS(), 3, 1, model)
+        assert report.ok, report.first_violations()
+
+    def test_latency_matches_floodset(self):
+        profile = latency_profile(FloodSetWS(), 3, 1, RoundModel.RWS)
+        assert profile.Lat == 2
+        assert profile.Lambda == 2
+
+    def test_rws_t2_safety_sampled(self):
+        # The exhaustive t=2 RWS space is astronomically large (the
+        # pending fan-out of two crashing processes); sample it instead.
+        import random
+
+        report = verify_algorithm(
+            FloodSetWS(), 4, 2, RoundModel.RWS,
+            sample=400, rng=random.Random(20),
+        )
+        assert report.ok, report.first_violations()
+
+
+class TestUnanimityInvariant:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_input_forces_that_decision(self, value):
+        run = run_rs(
+            FloodSet(),
+            [value] * 3,
+            crash_mid_broadcast(3, reached=(2,)),
+            t=1,
+        )
+        assert run.decided_values() <= {value}

@@ -1,0 +1,134 @@
+"""Cross-validation: emulations vs the direct round executor.
+
+The strongest integration test in the suite: run an algorithm through
+the step-level emulation, induce the round-level scenario its crash
+pattern realised, re-execute the same algorithm under that scenario in
+the plain round executor, and demand identical decisions.  Any
+divergence would mean one of the two engines (or the induction)
+misreads the model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consensus import A1, FloodSet, FloodSetWS
+from repro.emulation import (
+    emulate_rs_on_ss,
+    emulate_rws_on_sp,
+    induced_scenario,
+)
+from repro.failures import FailurePattern, random_pattern
+from repro.rounds import run_rs, run_rws, validate_scenario
+
+
+class TestInducedScenarioShape:
+    def test_crash_free_induces_failure_free(self):
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], FailurePattern.crash_free(3), t=1,
+            num_rounds=2, rng=random.Random(0),
+        )
+        scenario = induced_scenario(trace)
+        assert scenario.num_failures() == 0
+        assert not scenario.pending
+
+    def test_initially_dead_induces_round_one_silent_crash(self):
+        pattern = FailurePattern.with_crashes(3, {1: 0})
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1,
+            num_rounds=2, rng=random.Random(1),
+        )
+        scenario = induced_scenario(trace)
+        event = scenario.crash_of(1)
+        assert event is not None
+        assert event.round == 1
+        assert event.sent_to == frozenset()
+
+    def test_mid_broadcast_crash_induces_partial_send(self):
+        """Crash the process between its two send steps of round 1:
+        the induced sent_to must be a strict, non-empty subset."""
+        found_partial = False
+        for crash_time in range(1, 12):
+            pattern = FailurePattern.with_crashes(3, {0: crash_time})
+            trace = emulate_rs_on_ss(
+                FloodSet(), [0, 1, 1], pattern, t=1,
+                num_rounds=2, rng=random.Random(3),
+            )
+            event = induced_scenario(trace).crash_of(0)
+            if event and 0 < len(event.sent_to) < 2:
+                found_partial = True
+                break
+        assert found_partial, "no crash time hit the mid-broadcast window"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_induced_rs_scenarios_are_admissible(self, seed):
+        rng = random.Random(seed)
+        pattern = random_pattern(3, 1, 25, rng)
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng
+        )
+        scenario = induced_scenario(trace)
+        assert validate_scenario(scenario, t=1, allow_pending=False) == []
+
+
+class TestRSDecisionEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_floodset_decisions_match(self, seed):
+        rng = random.Random(seed)
+        pattern = random_pattern(3, 1, 25, rng)
+        trace = emulate_rs_on_ss(
+            FloodSet(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng
+        )
+        direct = run_rs(
+            FloodSet(), [0, 1, 1], induced_scenario(trace), t=1,
+            max_rounds=2, run_all_rounds=True,
+        )
+        for pid in range(3):
+            assert trace.decisions[pid] == direct.decisions.get(pid)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_a1_decisions_match(self, seed):
+        rng = random.Random(seed)
+        pattern = random_pattern(3, 1, 15, rng)
+        trace = emulate_rs_on_ss(
+            A1(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng
+        )
+        direct = run_rs(
+            A1(), [0, 1, 1], induced_scenario(trace), t=1,
+            max_rounds=2, run_all_rounds=True,
+        )
+        for pid in range(3):
+            assert trace.decisions[pid] == direct.decisions.get(pid)
+
+
+class TestRWSDecisionEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_floodsetws_decisions_match(self, seed):
+        rng = random.Random(seed)
+        pattern = FailurePattern.with_crashes(3, {0: rng.randint(3, 15)})
+        trace = emulate_rws_on_sp(
+            FloodSetWS(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng,
+            max_detection_delay=2, delivery_prob=0.15, max_age=80,
+        )
+        scenario = induced_scenario(trace)
+        direct = run_rws(
+            FloodSetWS(), [0, 1, 1], scenario, t=1,
+            max_rounds=2, run_all_rounds=True,
+        )
+        for pid in range(3):
+            assert trace.decisions[pid] == direct.decisions.get(pid)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_induced_rws_scenarios_are_admissible(self, seed):
+        """Lemma 4.1 in another guise: whatever the SP emulation does is
+        expressible as a weak-round-synchrony-respecting scenario."""
+        rng = random.Random(seed)
+        pattern = FailurePattern.with_crashes(3, {0: rng.randint(3, 15)})
+        trace = emulate_rws_on_sp(
+            FloodSetWS(), [0, 1, 1], pattern, t=1, num_rounds=2, rng=rng,
+            max_detection_delay=2, delivery_prob=0.15, max_age=80,
+        )
+        scenario = induced_scenario(trace)
+        assert validate_scenario(scenario, t=1, allow_pending=True) == []

@@ -1,0 +1,190 @@
+"""Tests for interactive consistency and Ben-Or randomized consensus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import verify_algorithm
+from repro.consensus.interactive import (
+    InteractiveConsistency,
+    InteractiveConsistencyWS,
+    check_interactive_consistency_run,
+    consensus_from_vector,
+)
+from repro.consensus import FloodSet
+from repro.errors import ConfigurationError
+from repro.failures import FailurePattern
+from repro.randomized import BenOrConsensus, benor_decisions, run_benor
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    RoundModel,
+    run_rs,
+    run_rws,
+)
+
+
+class TestInteractiveConsistencyRS:
+    def test_failure_free_vector(self):
+        run = run_rs(
+            InteractiveConsistency(), [4, 5, 6],
+            FailureScenario.failure_free(3), t=1,
+        )
+        assert run.decision_value(0) == (4, 5, 6)
+        assert check_interactive_consistency_run(run) == []
+
+    def test_initially_dead_component_is_none(self):
+        scenario = FailureScenario.initially_dead_set(3, {1})
+        run = run_rs(InteractiveConsistency(), [4, 5, 6], scenario, t=1)
+        assert run.decision_value(0) == (4, None, 6)
+        assert check_interactive_consistency_run(run) == []
+
+    def test_partial_broadcast_component_survives(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = run_rs(InteractiveConsistency(), [4, 5, 6], scenario, t=1)
+        # p0 reached only p1, but the flood spreads component 0 to all.
+        assert run.decision_value(2) == (4, 5, 6)
+
+    def test_exhaustive_rs(self):
+        report = verify_algorithm(
+            InteractiveConsistency(), 3, 1, RoundModel.RS,
+            checker=check_interactive_consistency_run,
+        )
+        assert report.ok, report.first_violations()
+
+    def test_exhaustive_rs_t2(self):
+        report = verify_algorithm(
+            InteractiveConsistency(), 4, 2, RoundModel.RS,
+            checker=check_interactive_consistency_run,
+            domain=(0, 1),
+        )
+        assert report.ok, report.first_violations()
+
+    def test_reduction_to_consensus_matches_floodset(self):
+        """min over the decided vector == FloodSet's decision, run for
+        run, over the whole exhaustive space."""
+        from repro.analysis import explore_runs
+
+        ic_runs = explore_runs(
+            InteractiveConsistency(), 3, 1, RoundModel.RS
+        )
+        fs_runs = explore_runs(FloodSet(), 3, 1, RoundModel.RS)
+        for ic_run, fs_run in zip(ic_runs, fs_runs):
+            assert ic_run.values == fs_run.values
+            assert ic_run.scenario == fs_run.scenario
+            for pid in ic_run.scenario.correct:
+                assert consensus_from_vector(
+                    ic_run.decision_value(pid)
+                ) == fs_run.decision_value(pid)
+
+
+class TestInteractiveConsistencyRWS:
+    def test_plain_variant_breaks_in_rws(self):
+        report = verify_algorithm(
+            InteractiveConsistency(), 3, 1, RoundModel.RWS,
+            checker=check_interactive_consistency_run, stop_after=1,
+        )
+        assert not report.ok
+
+    def test_ws_variant_exhaustive_rws(self):
+        report = verify_algorithm(
+            InteractiveConsistencyWS(), 3, 1, RoundModel.RWS,
+            checker=check_interactive_consistency_run,
+        )
+        assert report.ok, report.first_violations()
+
+    def test_ws_survives_the_paper_scenario(self):
+        from repro.workloads import floodset_rws_violation
+
+        run = run_rws(
+            InteractiveConsistencyWS(), [4, 5, 6],
+            floodset_rws_violation(3), t=1,
+        )
+        assert check_interactive_consistency_run(run) == []
+
+
+class TestBenOrConfiguration:
+    def test_needs_majority(self):
+        with pytest.raises(ConfigurationError):
+            BenOrConsensus(4, 2, [0, 1, 0, 1])
+
+    def test_binary_values_only(self):
+        with pytest.raises(ConfigurationError):
+            BenOrConsensus(3, 1, [0, 2, 1])
+
+    def test_coin_is_deterministic_per_seed(self):
+        a = BenOrConsensus(3, 1, [0, 1, 0], coin_seed=5)
+        b = BenOrConsensus(3, 1, [0, 1, 0], coin_seed=5)
+        assert a._coin(1, 3) == b._coin(1, 3)
+
+
+class TestBenOrSafety:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agreement_validity_termination(self, seed):
+        rng = random.Random(seed)
+        crashes = (
+            {rng.randrange(3): rng.randint(0, 60)} if seed % 3 == 0 else {}
+        )
+        pattern = FailurePattern.with_crashes(3, crashes)
+        values = [rng.randint(0, 1) for _ in range(3)]
+        run = run_benor(values, pattern, rng=rng, coin_seed=seed)
+        decisions = benor_decisions(run)
+        assert len(set(decisions.values())) <= 1
+        assert set(decisions.values()) <= set(values) or not decisions
+        for pid in pattern.correct:
+            assert pid in decisions
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimity_decides_that_value_round_one(self, value):
+        """All-same inputs: the first round's majority locks the value —
+        no coin ever flips."""
+        pattern = FailurePattern.crash_free(3)
+        run = run_benor([value] * 3, pattern, rng=random.Random(1))
+        decisions = benor_decisions(run)
+        assert set(decisions.values()) == {value}
+        assert all(
+            state.round <= 2 for state in run.final_states.values()
+        )
+
+    def test_five_processes_two_crashes(self):
+        rng = random.Random(9)
+        pattern = FailurePattern.with_crashes(5, {0: 20, 3: 50})
+        values = [0, 1, 1, 0, 1]
+        run = run_benor(values, pattern, rng=rng, max_steps=40_000)
+        decisions = benor_decisions(run)
+        assert len(set(decisions.values())) == 1
+        for pid in pattern.correct:
+            assert pid in decisions
+
+    def test_decide_relay_reaches_laggards(self):
+        """Every correct process decides even when coins would have kept
+        some unlucky: the DECIDE relay short-circuits the lottery."""
+        for seed in range(6):
+            rng = random.Random(seed)
+            pattern = FailurePattern.crash_free(3)
+            values = [0, 1, rng.randint(0, 1)]
+            run = run_benor(
+                values, pattern, rng=rng, coin_seed=seed + 100
+            )
+            assert len(benor_decisions(run)) == 3
+
+
+class TestBenOrTermination:
+    def test_rounds_to_decide_are_small_for_n3(self):
+        """Statistical sanity: mixed inputs at n=3 decide within a few
+        rounds across seeds (coin alignment probability is high)."""
+        worst = 0
+        for seed in range(25):
+            rng = random.Random(seed)
+            pattern = FailurePattern.crash_free(3)
+            run = run_benor([0, 1, 1], pattern, rng=rng, coin_seed=seed)
+            assert len(benor_decisions(run)) == 3
+            worst = max(
+                worst,
+                max(state.round for state in run.final_states.values()),
+            )
+        assert worst <= 6, f"suspiciously slow: {worst} rounds"

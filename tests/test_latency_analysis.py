@@ -1,0 +1,137 @@
+"""Tests for the latency measures and run-space exploration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    explore_runs,
+    latency_profile,
+    profile_and_verify,
+    verify_algorithm,
+)
+from repro.consensus import A1, FloodSet, FloodSetWS
+from repro.errors import ExecutionError
+from repro.rounds import RoundModel
+from repro.rounds.algorithm import RoundAlgorithm
+
+
+class TestExploreRuns:
+    def test_exhaustive_count_matches_product(self):
+        runs = list(explore_runs(FloodSet(), 3, 1, RoundModel.RS))
+        # 8 configurations x 46 scenarios (crash rounds 1..2... bound t+1=2
+        # -> 31 scenarios) = 248.
+        assert len(runs) == 8 * 31
+
+    def test_sampling_mode_counts(self):
+        runs = list(
+            explore_runs(
+                FloodSet(),
+                3,
+                1,
+                RoundModel.RWS,
+                sample=40,
+                rng=random.Random(1),
+            )
+        )
+        assert len(runs) == 40
+
+    def test_all_explored_runs_complete(self):
+        for run in explore_runs(FloodSet(), 3, 1, RoundModel.RS):
+            assert run.all_correct_decided()
+
+
+class TestLatencyProfile:
+    def test_floodset_profile(self):
+        profile = latency_profile(FloodSet(), 3, 1, RoundModel.RS)
+        assert profile.lat == 2
+        assert profile.Lat == 2
+        assert profile.Lambda == 2
+        assert profile.Lat_by_failures == {0: 2, 1: 2}
+        assert profile.runs_explored == 248
+
+    def test_a1_profile_shows_the_paper_gap(self):
+        rs = latency_profile(A1(), 3, 1, RoundModel.RS)
+        assert (rs.lat, rs.Lat, rs.Lambda) == (1, 1, 1)
+        assert rs.Lat_by_failures[1] == 2
+
+    def test_lat_by_failures_monotone(self):
+        """Lat(A, f) <= Lat(A, f+1) — more failures, no faster worst case."""
+        for algorithm in (FloodSet(), A1()):
+            profile = latency_profile(algorithm, 3, 1, RoundModel.RS)
+            pairs = sorted(profile.Lat_by_failures.items())
+            for (_, a), (_, b) in zip(pairs, pairs[1:]):
+                assert a <= b
+
+    def test_lambda_equals_lat_at_zero_failures(self):
+        profile = latency_profile(FloodSetWS(), 3, 1, RoundModel.RWS)
+        assert profile.Lambda == profile.Lat_by_failures[0]
+
+    def test_lat_is_min_of_config_minima(self):
+        profile = latency_profile(A1(), 3, 1, RoundModel.RS)
+        assert profile.lat == min(profile.lat_by_config.values())
+        assert profile.Lat == max(profile.lat_by_config.values())
+
+    def test_nontermination_raises(self):
+        class NeverDecides(RoundAlgorithm):
+            name = "never"
+
+            def initial_state(self, pid, n, t, value):
+                return None
+
+            def messages(self, pid, state):
+                return {}
+
+            def transition(self, pid, state, received):
+                return state
+
+            def decision_of(self, state):
+                return None
+
+        with pytest.raises(ExecutionError):
+            latency_profile(NeverDecides(), 2, 1, RoundModel.RS)
+
+    def test_describe_contains_measures(self):
+        text = latency_profile(A1(), 3, 1, RoundModel.RS).describe()
+        assert "lat=1" in text and "Λ=1" in text
+
+
+class TestVerifyAlgorithm:
+    def test_stop_after_short_circuits(self):
+        report = verify_algorithm(
+            FloodSet(), 3, 1, RoundModel.RWS, stop_after=1
+        )
+        assert len(report.violations) >= 1
+        full = verify_algorithm(FloodSet(), 3, 1, RoundModel.RWS)
+        assert report.runs_checked < full.runs_checked
+
+    def test_sampled_verification(self):
+        report = verify_algorithm(
+            FloodSetWS(),
+            3,
+            1,
+            RoundModel.RWS,
+            sample=100,
+            rng=random.Random(9),
+        )
+        assert report.ok
+        assert report.runs_checked == 100
+
+    def test_report_describe(self):
+        report = verify_algorithm(FloodSet(), 3, 1, RoundModel.RS)
+        assert "OK" in report.describe()
+
+
+class TestProfileAndVerify:
+    def test_matches_separate_calls(self):
+        combined_profile, combined_report = profile_and_verify(
+            FloodSet(), 3, 1, RoundModel.RS
+        )
+        profile = latency_profile(FloodSet(), 3, 1, RoundModel.RS)
+        report = verify_algorithm(FloodSet(), 3, 1, RoundModel.RS)
+        assert combined_profile.Lat == profile.Lat
+        assert combined_profile.lat_by_config == profile.lat_by_config
+        assert combined_report.ok == report.ok
+        assert combined_report.runs_checked == report.runs_checked

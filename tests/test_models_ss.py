@@ -1,0 +1,167 @@
+"""Tests for the SS model: synchrony validators and the SS scheduler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import FailurePattern
+from repro.models import (
+    SSScheduler,
+    SynchronousModel,
+    check_message_synchrony,
+    check_process_synchrony,
+    validate_ss_run,
+)
+from repro.simulation import (
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    StepAutomaton,
+    StepExecutor,
+    StepOutcome,
+)
+from repro.simulation.automaton import IdleAutomaton
+
+
+class AlwaysSendTo(StepAutomaton):
+    """Sends a constant payload to a fixed recipient each step."""
+
+    def __init__(self, recipient: int) -> None:
+        self.recipient = recipient
+
+    def initial_state(self, pid, n):
+        return None
+
+    def on_step(self, ctx):
+        if ctx.pid == 0:
+            return StepOutcome(state=None, send_to=self.recipient, payload="m")
+        return StepOutcome(state=None)
+
+
+def run_with(scheduler, n=3, crashes=None, steps=40, automaton=None):
+    pattern = FailurePattern.with_crashes(n, crashes or {})
+    executor = StepExecutor(
+        automaton or IdleAutomaton(), n, pattern, scheduler
+    )
+    return executor.execute(steps)
+
+
+class TestProcessSynchronyValidator:
+    def test_round_robin_satisfies_phi_one(self):
+        run = run_with(RoundRobinScheduler())
+        assert check_process_synchrony(run, phi=1) == []
+
+    def test_starvation_detected(self):
+        # p0 takes 3 consecutive steps while p1 and p2 idle: violates Φ=2.
+        script = [(0, "all")] * 3 + [(1, "all"), (2, "all")]
+        run = run_with(ScriptedScheduler(script))
+        assert check_process_synchrony(run, phi=2)
+
+    def test_bound_is_tight(self):
+        # Exactly Φ steps in a window is allowed; Φ+1 is not.
+        script = [(0, "all")] * 2 + [(1, "all"), (2, "all")]
+        run = run_with(ScriptedScheduler(script))
+        assert check_process_synchrony(run, phi=2) == []
+        assert check_process_synchrony(run, phi=1)
+
+    def test_crashed_process_exempt(self):
+        # p1 crashes at time 0; p0 may run alone forever w.r.t. p1 — but
+        # p2 is still alive, so interleave p2 to keep ITS constraint.
+        script = []
+        for _ in range(5):
+            script.extend([(0, "all"), (2, "all")])
+        run = run_with(ScriptedScheduler(script), crashes={1: 0})
+        assert check_process_synchrony(run, phi=1) == []
+
+    def test_violation_before_crash_still_counts(self):
+        # p1 crashes late (time 20); the starvation happens while alive.
+        script = [(0, "all")] * 4 + [(1, "all"), (2, "all")]
+        run = run_with(ScriptedScheduler(script), crashes={1: 20})
+        assert check_process_synchrony(run, phi=2)
+
+
+class TestMessageSynchronyValidator:
+    def test_immediate_delivery_satisfies_any_delta(self):
+        run = run_with(RoundRobinScheduler(), automaton=AlwaysSendTo(1))
+        assert check_message_synchrony(run, delta=1) == []
+
+    def test_withheld_message_detected(self):
+        # p0 sends to p1 at step 0; p1 steps at 2 and 4 without delivery.
+        script = [(0, "all"), (2, "all"), (1, []), (2, "all"), (1, [])]
+        run = run_with(
+            ScriptedScheduler(script), automaton=AlwaysSendTo(1)
+        )
+        assert check_message_synchrony(run, delta=2)
+
+    def test_delivery_within_delta_ok(self):
+        # sent at step 0; p1's first step at index 1 < 0+Δ for Δ=3 is an
+        # early (allowed) delivery opportunity — deliver there.
+        script = [(0, "all"), (1, "all"), (2, "all")]
+        run = run_with(ScriptedScheduler(script), automaton=AlwaysSendTo(1))
+        assert check_message_synchrony(run, delta=3) == []
+
+    def test_no_constraint_without_late_recipient_steps(self):
+        # Recipient never steps after the deadline: no violation possible.
+        script = [(0, "all"), (1, []), (2, "all")]
+        run = run_with(ScriptedScheduler(script), automaton=AlwaysSendTo(1))
+        assert check_message_synchrony(run, delta=5) == []
+
+
+class TestSSScheduler:
+    @pytest.mark.parametrize("phi,delta", [(1, 1), (2, 3), (3, 2)])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_runs_satisfy_both_bounds(self, phi, delta, seed):
+        rng = random.Random(seed)
+        crashes = {1: rng.randint(0, 30)} if seed % 2 else {}
+        run = run_with(
+            SSScheduler(phi, delta, rng=rng),
+            crashes=crashes,
+            steps=120,
+            automaton=AlwaysSendTo(2),
+        )
+        assert validate_ss_run(run, phi, delta) == []
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SSScheduler(0, 1)
+        with pytest.raises(ConfigurationError):
+            SSScheduler(1, 0)
+
+    def test_every_alive_process_keeps_stepping(self):
+        rng = random.Random(7)
+        run = run_with(SSScheduler(2, 2, rng=rng), steps=90)
+        counts = run.schedule.step_counts()
+        assert all(count >= 90 // (3 * 3) for count in counts.values())
+
+    def test_exercises_phi_slack(self):
+        # With Φ=3 the scheduler should sometimes let a process step
+        # several times in a row — otherwise it is not exploring the
+        # adversarial freedom the model allows.
+        rng = random.Random(11)
+        run = run_with(SSScheduler(3, 1, rng=rng), steps=200)
+        pids = [step.pid for step in run.schedule]
+        repeats = sum(1 for a, b in zip(pids, pids[1:]) if a == b)
+        assert repeats > 0
+
+
+class TestSynchronousModel:
+    def test_executor_roundtrip_validates(self):
+        model = SynchronousModel(phi=2, delta=2)
+        pattern = FailurePattern.with_crashes(3, {2: 15})
+        run = model.executor(
+            IdleAutomaton(), 3, pattern, rng=random.Random(1)
+        ).execute(60)
+        assert model.validate(run) == []
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousModel(phi=0)
+
+    def test_validate_flags_foreign_run(self):
+        # A run from a starving scheduler fails the SS validator.
+        script = [(0, "all")] * 6 + [(1, "all"), (2, "all")]
+        run = run_with(ScriptedScheduler(script))
+        model = SynchronousModel(phi=1, delta=1)
+        assert model.validate(run)

@@ -1,0 +1,144 @@
+"""Tests for the C_Opt and F_Opt fast-path algorithms (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import latency_profile, verify_algorithm
+from repro.consensus import (
+    COptFloodSet,
+    COptFloodSetWS,
+    FOptFloodSet,
+    FOptFloodSetWS,
+    check_uniform_consensus_run,
+)
+from repro.rounds import FailureScenario, RoundModel, run_rs, run_rws
+from repro.workloads import initially_dead_t, unanimous
+
+
+class TestCOptUnit:
+    def test_unanimous_round_one_decision(self):
+        run = run_rs(
+            COptFloodSet(), unanimous(3, 5), FailureScenario.failure_free(3),
+            t=1,
+        )
+        assert all(run.decision_round(p) == 1 for p in range(3))
+        assert run.decided_values() == {5}
+
+    def test_mixed_values_defer_to_round_t_plus_one(self):
+        run = run_rs(
+            COptFloodSet(), [0, 1, 1], FailureScenario.failure_free(3), t=1
+        )
+        assert all(run.decision_round(p) == 2 for p in range(3))
+
+    def test_missing_message_disables_fast_path(self):
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = run_rs(COptFloodSet(), unanimous(3, 4), scenario, t=1)
+        assert run.decision_round(1) == 2  # only n-1 messages at round 1
+
+
+class TestCOptLatency:
+    def test_lat_is_one_in_rs(self):
+        profile = latency_profile(COptFloodSet(), 3, 1, RoundModel.RS)
+        assert profile.lat == 1
+
+    def test_lat_is_one_in_rws(self):
+        profile = latency_profile(COptFloodSetWS(), 3, 1, RoundModel.RWS)
+        assert profile.lat == 1
+
+    def test_Lat_is_still_two(self):
+        # The fast path needs unanimity; the worst configuration pays 2.
+        profile = latency_profile(COptFloodSetWS(), 3, 1, RoundModel.RWS)
+        assert profile.Lat == 2
+
+    def test_safety(self):
+        assert verify_algorithm(COptFloodSet(), 3, 1, RoundModel.RS).ok
+        assert verify_algorithm(COptFloodSetWS(), 3, 1, RoundModel.RWS).ok
+
+    def test_plain_copt_unsafe_in_rws(self):
+        # Without the halt guard, the FloodSet weakness persists.
+        report = verify_algorithm(
+            COptFloodSet(), 3, 1, RoundModel.RWS, stop_after=1
+        )
+        assert not report.ok
+
+
+class TestFOptUnit:
+    def test_fast_path_on_exactly_n_minus_t(self):
+        scenario = initially_dead_t(3, 1)
+        run = run_rs(FOptFloodSet(), [1, 0, 1], scenario, t=1)
+        # p2 is dead; p0 and p1 each hear exactly 2 = n - t messages.
+        assert run.decision_round(0) == 1
+        assert run.decision_round(1) == 1
+        assert run.decided_values() == {0}
+
+    def test_no_fast_path_when_all_alive(self):
+        run = run_rs(
+            FOptFloodSet(), [1, 0, 1], FailureScenario.failure_free(3), t=1
+        )
+        assert all(run.decision_round(p) == 2 for p in range(3))
+
+    def test_forced_decision_propagates(self):
+        """A fast decider forces its value via (D, v) at round 2."""
+        from repro.rounds import CrashEvent
+
+        # p2 crashes in round 1 reaching only p0: p0 hears 3... no —
+        # p0 hears {0, 1, 2} = 3 != n-t; p1 hears {0, 1} = 2 = n-t.
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=2, round=1, sent_to=frozenset({0})),)
+        )
+        run = run_rs(FOptFloodSet(), [1, 1, 0], scenario, t=1)
+        assert run.decision_round(1) == 1
+        # p1 never saw p2's 0, decides min{1,1} = 1 and forces it on p0,
+        # who DID see the 0 — the forced decision must win for agreement.
+        assert run.decision_value(1) == 1
+        assert run.decision_value(0) == 1
+        assert check_uniform_consensus_run(run) == []
+
+    def test_decided_processes_flood_reports(self):
+        algorithm = FOptFloodSet()
+        state = algorithm.initial_state(0, 3, 1, 1)
+        state = algorithm.transition(
+            0, state, {0: frozenset({1}), 1: frozenset({0})}
+        )
+        assert state.decided
+        payloads = set(algorithm.messages(0, state).values())
+        assert payloads == {("D", 0)}
+
+
+class TestFOptTheorem51:
+    """Theorem 5.1: both variants solve uniform consensus."""
+
+    def test_rs_safety(self):
+        report = verify_algorithm(FOptFloodSet(), 3, 1, RoundModel.RS)
+        assert report.ok, report.first_violations()
+
+    def test_rws_safety(self):
+        report = verify_algorithm(FOptFloodSetWS(), 3, 1, RoundModel.RWS)
+        assert report.ok, report.first_violations()
+
+    def test_Lat_is_one_in_both_models(self):
+        rs = latency_profile(FOptFloodSet(), 3, 1, RoundModel.RS)
+        rws = latency_profile(FOptFloodSetWS(), 3, 1, RoundModel.RWS)
+        assert rs.Lat == 1
+        assert rws.Lat == 1
+
+    def test_failure_free_runs_still_need_two_rounds(self):
+        """The paper's paradox: failures *help* F_Opt."""
+        rs = latency_profile(FOptFloodSet(), 3, 1, RoundModel.RS)
+        assert rs.Lambda == 2
+        assert rs.Lat_by_failures[1] == 2
+        # Lat(A) = 1 comes from the t-initial-crash run of each config.
+        assert all(v == 1 for v in rs.lat_by_config.values())
+
+
+class TestFOptWSHalt:
+    def test_halt_filters_late_senders(self):
+        algorithm = FOptFloodSetWS()
+        state = algorithm.initial_state(0, 3, 1, 1)
+        # Round 1: p2 silent -> halted (and fast path fires on 2 = n-t).
+        state = algorithm.transition(
+            0, state, {0: frozenset({1}), 1: frozenset({1})}
+        )
+        assert 2 in state.halt
+        assert state.decided

@@ -1,0 +1,130 @@
+"""Tests for partial synchrony (GST) and the adaptive ◊P detector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import (
+    AdaptiveTimeoutDetector,
+    FailurePattern,
+    classify_history,
+    history_from_run,
+)
+from repro.models import (
+    PartiallySynchronousModel,
+    validate_post_gst,
+    validate_ss_run,
+)
+from repro.simulation.automaton import IdleAutomaton
+from repro.simulation.executor import StepExecutor
+
+
+def run_detector(
+    *, crashes=None, seed=0, gst=120, steps=900, phi=1, delta=2,
+    pre_prob=0.15, n=3,
+):
+    rng = random.Random(seed)
+    model = PartiallySynchronousModel(
+        phi=phi, delta=delta, gst=gst, pre_gst_delivery_prob=pre_prob
+    )
+    pattern = FailurePattern.with_crashes(n, crashes or {})
+    executor = StepExecutor(
+        AdaptiveTimeoutDetector(n),
+        n,
+        pattern,
+        model.make_scheduler(rng),
+        record_states=True,
+    )
+    run = executor.execute(steps)
+    return run, pattern, model
+
+
+class TestModel:
+    def test_rejects_negative_gst(self):
+        with pytest.raises(ConfigurationError):
+            PartiallySynchronousModel(gst=-1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_post_gst_suffix_is_ss_admissible(self, seed):
+        run, pattern, model = run_detector(seed=seed, steps=500)
+        assert model.validate(run) == []
+
+    def test_pre_gst_chaos_violates_plain_ss(self):
+        """The prefix genuinely misbehaves: the full run usually fails
+        the plain SS validator even though the suffix passes."""
+        violated = 0
+        for seed in range(6):
+            run, _, model = run_detector(seed=seed, gst=200, steps=500,
+                                         pre_prob=0.05)
+            if validate_ss_run(run, model.phi, model.delta):
+                violated += 1
+        assert violated > 0
+
+    def test_gst_zero_degenerates_to_ss(self):
+        run, _, model = run_detector(seed=3, gst=0, steps=300)
+        assert validate_ss_run(run, model.phi, model.delta) == []
+
+    def test_validate_post_gst_empty_suffix(self):
+        run, pattern, model = run_detector(seed=1, steps=50, gst=100)
+        # Nothing after GST: vacuously fine.
+        assert validate_post_gst(run, model.phi, model.delta, 100) == []
+
+
+class TestAdaptiveDetector:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutDetector(1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutDetector(3, initial_timeout=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_eventually_perfect_with_crash(self, seed):
+        run, pattern, _ = run_detector(
+            crashes={1: 250}, seed=seed
+        )
+        history = history_from_run(run)
+        report = classify_history(history, pattern, len(run.schedule) - 1)
+        assert report.matches_class("<>P"), report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_eventually_perfect_crash_free(self, seed):
+        run, pattern, _ = run_detector(seed=seed)
+        history = history_from_run(run)
+        report = classify_history(history, pattern, len(run.schedule) - 1)
+        assert report.matches_class("<>P"), report.violations
+
+    def test_pre_gst_mistakes_actually_happen(self):
+        """The 'eventual' is not vacuous: chaotic prefixes cause false
+        suspicions, so the output is ◊P and provably not P."""
+        mistakes = 0
+        for seed in range(8):
+            run, pattern, _ = run_detector(seed=seed)
+            history = history_from_run(run)
+            report = classify_history(
+                history, pattern, len(run.schedule) - 1
+            )
+            if not report.strong_accuracy:
+                mistakes += 1
+        assert mistakes > 0
+
+    def test_timeouts_grow_on_refutation(self):
+        run, _, _ = run_detector(seed=2)
+        initial = AdaptiveTimeoutDetector(3).initial_timeout
+        grew = any(
+            any(timeout > initial for timeout in state.timeouts.values())
+            for state in run.final_states.values()
+        )
+        assert grew, "no suspicion was ever refuted — test setup too tame"
+
+    def test_crashed_peer_stays_suspected(self):
+        run, pattern, _ = run_detector(crashes={1: 200}, seed=4)
+        for pid in (0, 2):
+            assert 1 in run.final_states[pid].suspected
+
+    def test_survivors_eventually_trust_each_other(self):
+        run, pattern, _ = run_detector(crashes={1: 200}, seed=4)
+        assert 2 not in run.final_states[0].suspected
+        assert 0 not in run.final_states[2].suspected

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These complement the exhaustive checks: hypothesis explores odd corners
+of the *parameter* space (sizes, domains, adversary shapes) while the
+exhaustive enumerations nail down specific (n, t) instances completely.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus import FloodSet, FloodSetWS, check_uniform_consensus_run
+from repro.failures import FailurePattern, PerfectDetector, classify_history
+from repro.models.ss import SSScheduler, validate_ss_run
+from repro.rounds import (
+    RoundModel,
+    check_round_synchrony,
+    check_weak_round_synchrony,
+    execute,
+    random_scenario,
+)
+from repro.simulation.automaton import IdleAutomaton
+from repro.simulation.executor import StepExecutor
+
+# -- round-model invariants ---------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10**6),
+    values=st.data(),
+)
+def test_floodsetws_uniform_agreement_random_rws(n, seed, values):
+    """FloodSetWS never violates uniform consensus under any random
+    admissible RWS adversary."""
+    rng = random.Random(seed)
+    vals = [values.draw(st.integers(0, 3)) for _ in range(n)]
+    scenario = random_scenario(n, 1, max_round=2, allow_pending=True, rng=rng)
+    run = execute(
+        FloodSetWS(), vals, scenario, t=1, model=RoundModel.RWS, max_rounds=4
+    )
+    assert check_uniform_consensus_run(run) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    t=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_rs_executor_satisfies_round_synchrony(n, t, seed):
+    """Every RS execution satisfies the round synchrony property."""
+    if t >= n:
+        return
+    rng = random.Random(seed)
+    scenario = random_scenario(n, t, max_round=t + 1, allow_pending=False, rng=rng)
+    values = [rng.randint(0, 2) for _ in range(n)]
+    run = execute(
+        FloodSet(), values, scenario, t=t, model=RoundModel.RS,
+        max_rounds=t + 2,
+    )
+    assert check_round_synchrony(run) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_rws_executor_satisfies_weak_round_synchrony(n, seed):
+    """Every RWS execution satisfies weak round synchrony."""
+    rng = random.Random(seed)
+    scenario = random_scenario(n, 1, max_round=2, allow_pending=True, rng=rng)
+    values = [rng.randint(0, 2) for _ in range(n)]
+    run = execute(
+        FloodSet(), values, scenario, t=1, model=RoundModel.RWS, max_rounds=3
+    )
+    assert check_weak_round_synchrony(run) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_floodset_w_sets_grow_monotonically(n, seed):
+    """A process's W set never loses values across rounds."""
+    rng = random.Random(seed)
+    scenario = random_scenario(n, 1, max_round=2, allow_pending=False, rng=rng)
+    values = [rng.randint(0, 3) for _ in range(n)]
+    algorithm = FloodSet()
+    states = {
+        pid: algorithm.initial_state(pid, n, 1, values[pid])
+        for pid in range(n)
+    }
+    run = execute(
+        algorithm, values, scenario, t=1, model=RoundModel.RS, max_rounds=3,
+        run_all_rounds=True,
+    )
+    for pid in range(n):
+        final = run.final_states[pid]
+        assert states[pid].W <= final.W
+
+
+# -- step-model invariants ----------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    phi=st.integers(min_value=1, max_value=3),
+    delta=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10**6),
+    crash_time=st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+)
+def test_ss_scheduler_never_violates_bounds(phi, delta, seed, crash_time):
+    """SSScheduler's runs always pass the independent SS validators."""
+    crashes = {1: crash_time} if crash_time is not None else {}
+    pattern = FailurePattern.with_crashes(3, crashes)
+    executor = StepExecutor(
+        IdleAutomaton(),
+        3,
+        pattern,
+        SSScheduler(phi, delta, rng=random.Random(seed)),
+    )
+    run = executor.execute(80)
+    assert validate_ss_run(run, phi, delta) == []
+
+
+# -- detector invariants -------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    crash_times=st.dictionaries(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=60),
+        max_size=2,
+    ),
+    max_delay=st.integers(min_value=0, max_value=30),
+)
+def test_perfect_detector_axioms_hold_for_any_delays(
+    seed, crash_times, max_delay
+):
+    """P's histories satisfy strong completeness + strong accuracy for
+    every crash pattern and every finite detection-delay assignment."""
+    pattern = FailurePattern.with_crashes(4, crash_times)
+    history = PerfectDetector(max_delay=max_delay).history(
+        pattern, horizon=150, rng=random.Random(seed)
+    )
+    report = classify_history(history, pattern, 150)
+    assert report.matches_class("P"), report.violations
+
+
+# -- commit and broadcast invariants --------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    votes=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+def test_synchronous_commit_nbac_random_rs(seed, votes):
+    """SynchronousCommit never violates NBAC under any random admissible
+    RS adversary and any vote assignment."""
+    from repro.commit import check_nbac_run
+    from repro.commit.algorithms import SynchronousCommit
+
+    rng = random.Random(seed)
+    scenario = random_scenario(3, 1, max_round=2, allow_pending=False, rng=rng)
+    run = execute(
+        SynchronousCommit(), votes, scenario, t=1,
+        model=RoundModel.RS, max_rounds=4,
+    )
+    assert check_nbac_run(run) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    votes=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+def test_p_commit_nbac_random_rws(seed, votes):
+    """PerfectFDCommit never violates NBAC under any random admissible
+    RWS adversary (pending messages included)."""
+    from repro.commit import check_nbac_run
+    from repro.commit.algorithms import PerfectFDCommit
+
+    rng = random.Random(seed)
+    scenario = random_scenario(3, 1, max_round=2, allow_pending=True, rng=rng)
+    run = execute(
+        PerfectFDCommit(), votes, scenario, t=1,
+        model=RoundModel.RWS, max_rounds=4,
+    )
+    assert check_nbac_run(run) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_atomic_broadcast_ws_total_order_random_rws(seed):
+    """AtomicBroadcastWS keeps integrity/total-order/validity under any
+    random admissible RWS adversary."""
+    from repro.broadcast import AtomicBroadcastWS, check_atomic_broadcast_run
+
+    rng = random.Random(seed)
+    scenario = random_scenario(3, 1, max_round=2, allow_pending=True, rng=rng)
+    values = (("a0",), ("a1",), ("a2",))
+    run = execute(
+        AtomicBroadcastWS(), values, scenario, t=1,
+        model=RoundModel.RWS, max_rounds=4,
+    )
+    assert check_atomic_broadcast_run(run) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n=st.integers(min_value=2, max_value=4),
+)
+def test_latency_never_below_one(seed, n):
+    """No algorithm can decide before its first transition: |r| >= 1 on
+    every complete run."""
+    from repro.consensus import FloodSetWS
+
+    rng = random.Random(seed)
+    scenario = random_scenario(n, 1, max_round=2, allow_pending=True, rng=rng)
+    values = [rng.randint(0, 1) for _ in range(n)]
+    run = execute(
+        FloodSetWS(), values, scenario, t=1,
+        model=RoundModel.RWS, max_rounds=4,
+    )
+    latency = run.latency()
+    assert latency is None or latency >= 1

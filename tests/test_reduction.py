@@ -1,0 +1,142 @@
+"""Tests for the weak-to-strong completeness gossip reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.failures import (
+    FailurePattern,
+    QuasiDetector,
+    WeakDetector,
+    classify_history,
+    history_from_run,
+)
+from repro.failures.reduction import CompletenessReduction
+from repro.models import SynchronousModel
+from repro.simulation import RoundRobinScheduler, StepExecutor
+
+
+def run_reduction(pattern, input_detector, seed=0, steps=400, horizon=500):
+    """Execute the reduction over an input detector's history."""
+    rng = random.Random(seed)
+    input_history = input_detector.history(pattern, horizon=horizon, rng=rng)
+    executor = StepExecutor(
+        CompletenessReduction(pattern.n),
+        pattern.n,
+        pattern,
+        RoundRobinScheduler(),
+        history=input_history,
+        record_states=True,
+    )
+    run = executor.execute(steps)
+    return history_from_run(run), run
+
+
+PATTERNS = [
+    FailurePattern.crash_free(3),
+    FailurePattern.with_crashes(3, {1: 30}),
+    FailurePattern.with_crashes(4, {0: 0, 2: 50}),
+]
+
+
+class TestWeakToStrong:
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.describe())
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_w_input_gives_strong_completeness(self, pattern, seed):
+        """W (weak completeness) in, S-grade completeness out."""
+        output, run = run_reduction(pattern, WeakDetector(), seed=seed)
+        report = classify_history(
+            output, pattern, len(run.schedule) - 1
+        )
+        assert report.strong_completeness, report.violations
+
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.describe())
+    def test_weak_input_really_was_weak(self, pattern):
+        """Sanity: the input history alone is NOT strongly complete when
+        there are crashes and several correct observers (only the witness
+        suspects), so the reduction genuinely adds something."""
+        if not pattern.faulty:
+            pytest.skip("vacuous without crashes")
+        history = WeakDetector().history(
+            pattern, horizon=500, rng=random.Random(1)
+        )
+        report = classify_history(history, pattern, 400)
+        # Weak completeness holds...
+        assert report.weak_completeness
+        # ... and with >= 2 correct observers, strong completeness fails
+        # for the single-witness histories WeakDetector generates.
+        if len(pattern.correct) >= 2:
+            assert not report.strong_completeness
+
+
+class TestQToP:
+    """The headline corollary: Q + reliable gossip = P."""
+
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.describe())
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_q_input_yields_perfect_output(self, pattern, seed):
+        output, run = run_reduction(pattern, QuasiDetector(), seed=seed)
+        report = classify_history(output, pattern, len(run.schedule) - 1)
+        assert report.matches_class("P"), report.violations
+
+    def test_accuracy_preserved_under_false_free_input(self):
+        """Strong accuracy of the output: nobody suspected before their
+        crash, at any time, by any process."""
+        pattern = FailurePattern.with_crashes(3, {2: 40})
+        output, run = run_reduction(pattern, QuasiDetector(), seed=7)
+        from repro.failures import check_strong_accuracy
+
+        assert check_strong_accuracy(output, pattern, len(run.schedule) - 1)
+
+
+class TestGossipMechanics:
+    def test_suspicion_spreads_from_single_witness(self):
+        """Only the witness's input module reports the crash; gossip must
+        carry the suspicion to every other correct process."""
+        pattern = FailurePattern.with_crashes(3, {1: 10})
+        output, run = run_reduction(pattern, WeakDetector(), seed=0)
+        horizon = len(run.schedule) - 1
+        for observer in (0, 2):
+            assert 1 in output.suspects(observer, horizon)
+
+    def test_live_process_cancels_false_rumors(self):
+        """A spurious suspicion of a live process dies out because the
+        live process keeps gossiping."""
+        from repro.failures.history import FunctionHistory
+
+        pattern = FailurePattern.crash_free(3)
+        # Input module: p0 wrongly suspects p1 for a while, then stops.
+        noisy_input = FunctionHistory(
+            lambda pid, t: {1} if (pid == 0 and t < 30) else set()
+        )
+        executor = StepExecutor(
+            CompletenessReduction(3),
+            3,
+            pattern,
+            RoundRobinScheduler(),
+            history=noisy_input,
+            record_states=True,
+        )
+        run = executor.execute(200)
+        output = history_from_run(run)
+        horizon = len(run.schedule) - 1
+        for observer in range(3):
+            assert 1 not in output.suspects(observer, horizon)
+
+    def test_never_suspects_self(self):
+        from repro.failures.history import ConstantHistory
+
+        pattern = FailurePattern.crash_free(2)
+        executor = StepExecutor(
+            CompletenessReduction(2),
+            2,
+            pattern,
+            RoundRobinScheduler(),
+            history=ConstantHistory({0, 1}),  # pathological input
+            record_states=True,
+        )
+        run = executor.execute(50)
+        for pid in range(2):
+            assert pid not in run.final_states[pid].suspected

@@ -1,0 +1,173 @@
+"""Tests for the RS/RWS round executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import FloodSet
+from repro.errors import ConfigurationError, ScenarioError
+from repro.rounds import (
+    CrashEvent,
+    FailureScenario,
+    PendingMessage,
+    RoundModel,
+    check_round_synchrony,
+    check_weak_round_synchrony,
+    execute,
+    run_rs,
+    run_rws,
+)
+from repro.workloads import a1_rws_disagreement
+
+
+def rs(values, scenario, t=1, **kw):
+    return run_rs(FloodSet(), values, scenario, t=t, **kw)
+
+
+class TestFailureFreeExecution:
+    def test_floodset_decides_min_at_t_plus_one(self):
+        run = rs([2, 0, 1], FailureScenario.failure_free(3))
+        assert run.decision_value(0) == 0
+        assert all(run.decision_round(p) == 2 for p in range(3))
+
+    def test_latency_is_max_correct_decision_round(self):
+        run = rs([0, 1, 1], FailureScenario.failure_free(3))
+        assert run.latency() == 2
+
+    def test_early_stop_on_quiescence(self):
+        run = rs([0, 1, 1], FailureScenario.failure_free(3), max_rounds=9)
+        assert run.num_rounds == 2  # stops once everyone decided
+
+    def test_run_all_rounds_forces_full_horizon(self):
+        run = rs(
+            [0, 1, 1],
+            FailureScenario.failure_free(3),
+            max_rounds=4,
+            run_all_rounds=True,
+        )
+        assert run.num_rounds == 4
+
+    def test_round_records_track_sends(self):
+        run = rs([0, 1, 1], FailureScenario.failure_free(3))
+        first = run.rounds[0]
+        assert (0, 1) in first.sent and (2, 0) in first.sent
+        assert first.transitioned == frozenset({0, 1, 2})
+
+
+class TestCrashSemantics:
+    def test_initially_dead_sends_nothing(self):
+        scenario = FailureScenario.initially_dead_set(3, {0})
+        run = rs([0, 1, 1], scenario)
+        assert all(sender != 0 for sender, _ in run.rounds[0].sent)
+        # Survivors never learn 0 and decide 1.
+        assert run.decision_value(1) == 1
+
+    def test_partial_broadcast_reaches_exact_subset(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = rs([0, 1, 1], scenario)
+        first = run.rounds[0]
+        assert (0, 1) in first.sent
+        assert (0, 2) not in first.sent
+        # The flood relays value 0 in round 2; both survivors decide 0.
+        assert run.decision_value(1) == 0
+        assert run.decision_value(2) == 0
+
+    def test_crashed_process_never_transitions_without_flag(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = rs([0, 1, 1], scenario)
+        assert 0 not in run.rounds[0].transitioned
+        assert 0 not in run.decisions
+
+    def test_applies_transition_lets_crasher_decide(self):
+        scenario = a1_rws_disagreement(3)  # p0 decides then crashes
+        from repro.consensus import A1
+
+        run = run_rws(A1(), [0, 1, 1], scenario, t=1)
+        assert run.decision_value(0) == 0
+        assert run.decision_round(0) == 1
+
+    def test_crashed_stays_dead(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=1, round=1),)
+        )
+        run = rs([0, 1, 1], scenario, max_rounds=3, run_all_rounds=True)
+        for record in run.rounds:
+            assert all(sender != 1 for sender, _ in record.sent)
+
+
+class TestPendingSemantics:
+    def test_pending_withheld_from_recipient(self):
+        scenario = FailureScenario(
+            n=3,
+            crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1, 2})),),
+            pending=frozenset({PendingMessage(0, 2, 1)}),
+        )
+        run = run_rws(FloodSet(), [0, 1, 1], scenario, t=1)
+        first = run.rounds[0]
+        assert 0 in first.delivered[1]
+        assert 0 not in first.delivered[2]
+        assert (0, 2) in first.sent  # sent, just not delivered
+
+    def test_self_delivery_cannot_be_pending(self):
+        # PendingMessage construction forbids it outright.
+        with pytest.raises(ScenarioError):
+            PendingMessage(0, 0, 1)
+
+    def test_rs_rejects_pending(self):
+        scenario = FailureScenario(
+            n=3,
+            crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1, 2})),),
+            pending=frozenset({PendingMessage(0, 2, 1)}),
+        )
+        with pytest.raises(ScenarioError):
+            run_rs(FloodSet(), [0, 1, 1], scenario, t=1)
+
+    def test_invalid_scenario_rejected_by_default(self):
+        scenario = FailureScenario(
+            n=3, pending=frozenset({PendingMessage(0, 1, 1)})
+        )
+        with pytest.raises(ScenarioError):
+            run_rws(FloodSet(), [0, 1, 1], scenario, t=1)
+
+
+class TestValidators:
+    def test_rs_run_satisfies_round_synchrony(self):
+        scenario = FailureScenario(
+            n=3, crashes=(CrashEvent(pid=0, round=1, sent_to=frozenset({1})),)
+        )
+        run = rs([0, 1, 1], scenario)
+        assert check_round_synchrony(run) == []
+
+    def test_rws_run_satisfies_weak_round_synchrony(self):
+        run = run_rws(FloodSet(), [0, 1, 1], a1_rws_disagreement(3), t=1)
+        assert check_weak_round_synchrony(run) == []
+
+    def test_pending_run_fails_strict_round_synchrony(self):
+        run = run_rws(FloodSet(), [0, 1, 1], a1_rws_disagreement(3), t=1)
+        assert check_round_synchrony(run)
+
+
+class TestExecutorValidation:
+    def test_values_scenario_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            execute(
+                FloodSet(),
+                [0, 1],
+                FailureScenario.failure_free(3),
+                t=1,
+                model=RoundModel.RS,
+                max_rounds=3,
+            )
+
+    def test_decisions_capture_first_round_only(self):
+        run = rs([1, 1, 1], FailureScenario.failure_free(3), max_rounds=4,
+                 run_all_rounds=True)
+        assert run.decision_round(0) == 2  # not overwritten later
+
+    def test_decided_values_accessor(self):
+        run = rs([0, 1, 1], FailureScenario.failure_free(3))
+        assert run.decided_values() == {0}

@@ -1,0 +1,139 @@
+"""Tests for the SDD problem: SS solution and SP impossibility."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.failures import FailurePattern
+from repro.sdd import (
+    SP_CANDIDATE_FACTORIES,
+    check_sdd_run,
+    refute_sdd_candidate,
+    sdd_decision,
+    solve_sdd_ss,
+)
+from repro.sdd.impossibility import (
+    PatientReceiverSP,
+    SuspicionReceiverSP,
+    TimeoutReceiverSP,
+)
+from repro.sdd.spec import RECEIVER, SENDER
+
+
+class TestSSAlgorithm:
+    @pytest.mark.parametrize("value", [0, 1])
+    @pytest.mark.parametrize("phi,delta", [(1, 1), (2, 3), (3, 1)])
+    def test_correct_sender_value_decided(self, value, phi, delta, rng):
+        pattern = FailurePattern.crash_free(2)
+        run = solve_sdd_ss(value, pattern, phi=phi, delta=delta, rng=rng)
+        assert sdd_decision(run) == value
+        assert check_sdd_run(run, value).ok
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_initially_dead_sender_defaults_to_zero(self, value, rng):
+        pattern = FailurePattern.with_crashes(2, {SENDER: 0})
+        run = solve_sdd_ss(value, pattern, rng=rng)
+        assert sdd_decision(run) == 0
+        assert check_sdd_run(run, value).ok
+
+    @pytest.mark.parametrize("crash_time", [1, 2, 3, 5])
+    def test_sender_crash_after_first_step_still_valid(self, crash_time, rng):
+        """Once the sender stepped, its value reaches the receiver — the
+        bounded detection SS guarantees and SP cannot."""
+        pattern = FailurePattern.with_crashes(2, {SENDER: crash_time})
+        run = solve_sdd_ss(1, pattern, phi=2, delta=2, rng=rng)
+        verdict = check_sdd_run(run, 1)
+        assert verdict.ok, verdict.describe()
+        assert sdd_decision(run) == 1
+
+    def test_decision_within_deadline_steps(self, rng):
+        pattern = FailurePattern.crash_free(2)
+        run = solve_sdd_ss(1, pattern, phi=1, delta=2, rng=rng)
+        receiver_steps = [s for s in run.schedule if s.pid == RECEIVER]
+        # The receiver decides on its (Φ+1+Δ)-th step = 4th step.
+        assert receiver_steps[-1].local_step <= 1 + 1 + 2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized_ss_schedules(self, seed):
+        rng = random.Random(seed)
+        crash = {SENDER: rng.randint(0, 6)} if seed % 2 else {}
+        pattern = FailurePattern.with_crashes(2, crash)
+        value = seed % 2
+        run = solve_sdd_ss(value, pattern, phi=2, delta=2, rng=rng)
+        assert check_sdd_run(run, value).ok
+
+
+class TestSpecChecker:
+    def test_termination_violation_detected(self, rng):
+        # Horizon too short for the receiver to reach its deadline.
+        pattern = FailurePattern.crash_free(2)
+        run = solve_sdd_ss(1, pattern, phi=1, delta=1, rng=rng, max_steps=2)
+        verdict = check_sdd_run(run, 1)
+        assert not verdict.ok
+        assert any("termination" in v for v in verdict.violations)
+
+    def test_validity_exempts_never_stepped_sender(self, rng):
+        pattern = FailurePattern.with_crashes(2, {SENDER: 0})
+        run = solve_sdd_ss(1, pattern, rng=rng)
+        # Receiver decided 0 although the sender's value was 1 — allowed,
+        # because the sender was initially crashed.
+        assert check_sdd_run(run, 1).ok
+
+
+class TestTheorem31:
+    @pytest.mark.parametrize(
+        "name", sorted(SP_CANDIDATE_FACTORIES), ids=str
+    )
+    def test_every_candidate_refuted(self, name):
+        refutation = refute_sdd_candidate(
+            SP_CANDIDATE_FACTORIES[name], name
+        )
+        assert refutation.refuted, refutation.describe()
+
+    @pytest.mark.parametrize(
+        "name", sorted(SP_CANDIDATE_FACTORIES), ids=str
+    )
+    def test_indistinguishability_forces_equal_decisions(self, name):
+        """The heart of the proof: the receiver decides the same value in
+        all four runs because its observations are identical."""
+        refutation = refute_sdd_candidate(
+            SP_CANDIDATE_FACTORIES[name], name
+        )
+        decisions = set(refutation.decisions.values())
+        assert len(decisions) == 1
+
+    def test_violation_is_validity_in_a_primed_run(self):
+        refutation = refute_sdd_candidate(
+            SP_CANDIDATE_FACTORIES["suspicion"], "suspicion"
+        )
+        flagged = {
+            run_name
+            for run_name, problems in refutation.violations.items()
+            if problems
+        }
+        # The decision d satisfies validity in rX but not in r(1-X)'.
+        assert flagged <= {"r0'", "r1'"}
+        assert flagged
+
+    def test_custom_candidate_with_larger_timeout_still_fails(self):
+        refutation = refute_sdd_candidate(
+            lambda: TimeoutReceiverSP(deadline=150), "timeout-150"
+        )
+        assert refutation.refuted
+
+    def test_patient_candidate_grace_periods_fail(self):
+        for grace in (1, 20, 80):
+            refutation = refute_sdd_candidate(
+                lambda g=grace: PatientReceiverSP(grace=g), f"patient-{grace}"
+            )
+            assert refutation.refuted
+
+    def test_default_one_candidate_decides_default(self):
+        refutation = refute_sdd_candidate(
+            lambda: SuspicionReceiverSP(default=1), "suspicion-default-1"
+        )
+        # Symmetric failure: now r0' is the violated run.
+        assert refutation.refuted
+        assert refutation.violations["r0'"]

@@ -1,0 +1,91 @@
+"""Tests for workload builders and the stats helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rounds import validate_scenario
+from repro.stats import rate, summarize
+from repro.workloads import (
+    a1_rws_disagreement,
+    adversarial_split,
+    crash_mid_broadcast,
+    decide_then_crash_pending,
+    failure_free,
+    floodset_rws_violation,
+    initially_dead_t,
+    random_values,
+    unanimous,
+)
+
+
+class TestConfigs:
+    def test_unanimous(self):
+        assert unanimous(3, 4) == (4, 4, 4)
+
+    def test_adversarial_split(self):
+        assert adversarial_split(4) == (0, 1, 1, 1)
+
+    def test_random_values_domain(self):
+        values = random_values(6, random.Random(1), domain=("a", "b"))
+        assert len(values) == 6
+        assert set(values) <= {"a", "b"}
+
+
+class TestScenarios:
+    def test_failure_free(self):
+        scenario = failure_free(3)
+        assert scenario.num_failures() == 0
+
+    def test_initially_dead_t(self):
+        scenario = initially_dead_t(4, 2)
+        assert scenario.initially_dead() == frozenset({2, 3})
+        assert validate_scenario(scenario, t=2, allow_pending=False) == []
+
+    def test_crash_mid_broadcast(self):
+        scenario = crash_mid_broadcast(3, pid=1, reached=(0,))
+        event = scenario.crash_of(1)
+        assert event.sent_to == frozenset({0})
+        assert validate_scenario(scenario, t=1, allow_pending=False) == []
+
+    def test_decide_then_crash_pending_is_rws_admissible(self):
+        scenario = decide_then_crash_pending(4, pid=2)
+        assert validate_scenario(scenario, t=1, allow_pending=True) == []
+        event = scenario.crash_of(2)
+        assert event.applies_transition
+        assert len(scenario.pending) == 3
+
+    def test_a1_scenario_alias(self):
+        assert a1_rws_disagreement(3) == decide_then_crash_pending(3, pid=0)
+
+    def test_floodset_violation_scenario_admissible(self):
+        scenario = floodset_rws_violation(3)
+        assert validate_scenario(scenario, t=1, allow_pending=True) == []
+        assert scenario.crash_of(0).round == 2
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+
+    def test_single_value_has_zero_stdev(self):
+        assert summarize([7]).stdev == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_describe_format(self):
+        text = summarize([1.0, 2.0]).describe("rounds")
+        assert "mean=1.5 rounds" in text
+
+    def test_rate(self):
+        assert rate(1, 4) == 0.25
+        assert rate(0, 0) == 0.0
