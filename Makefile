@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench examples experiments report clean
+.PHONY: install test test-fast bench examples experiments report trace-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,12 @@ experiments:
 
 report:
 	python -m repro report --output EXPERIMENTS.md
+
+TRACE_SMOKE_OUT ?= /tmp/repro_trace_smoke.jsonl
+
+trace-smoke:
+	PYTHONPATH=src python -m repro trace floodset-rws-violation --jsonl $(TRACE_SMOKE_OUT)
+	PYTHONPATH=src python scripts/check_trace.py $(TRACE_SMOKE_OUT)
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -11,6 +11,7 @@ import random
 from repro.consensus import FloodSet
 from repro.failures import FailurePattern
 from repro.models import SSScheduler, SynchronousModel
+from repro.obs import CompositeObserver, EventLog, MetricsObserver
 from repro.rounds import FailureScenario, RoundModel, all_scenarios, run_rs
 from repro.rounds.executor import execute
 from repro.simulation import RoundRobinScheduler, StepExecutor
@@ -53,6 +54,41 @@ def bench_single_round_run(benchmark):
     scenario = FailureScenario.failure_free(3)
     run = benchmark(run_rs, FloodSet(), [0, 1, 1], scenario, t=1)
     assert run.latency() == 2
+
+
+def bench_single_round_run_observed(benchmark):
+    """bench_single_round_run with full tracing + metrics attached.
+
+    The delta against ``bench_single_round_run`` is the *observer-on*
+    cost; the observer-off path only pays ``observer is not None``
+    checks and must stay within noise of the seed numbers.
+    """
+    scenario = FailureScenario.failure_free(3)
+
+    def run_observed():
+        observer = CompositeObserver(EventLog(), MetricsObserver())
+        return run_rs(FloodSet(), [0, 1, 1], scenario, t=1, observer=observer)
+
+    run = benchmark(run_observed)
+    assert run.latency() == 2
+
+
+def bench_step_executor_observed(benchmark):
+    """1000 observed kernel steps (EventLog attached)."""
+    pattern = FailurePattern.crash_free(4)
+
+    def run_1000_steps():
+        executor = StepExecutor(
+            IdleAutomaton(),
+            4,
+            pattern,
+            RoundRobinScheduler(),
+            observer=EventLog(),
+        )
+        return executor.execute(1000)
+
+    run = benchmark(run_1000_steps)
+    assert len(run.schedule) == 1000
 
 
 def bench_scenario_enumeration_rws(benchmark):

@@ -10,7 +10,35 @@ kernel microbenchmarks use the default calibrated timing.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+from repro.obs import Profiler, get_profiler, set_profiler
+
+#: Where the per-phase span breakdown lands, next to the timing output.
+METRICS_PATH = Path(__file__).resolve().parent / "metrics.jsonl"
+
+
+def pytest_configure(config):
+    """Install a process-wide profiler so the engines' spans
+    (``rounds.execute``, ``simulation.execute``, ...) are collected
+    alongside pytest-benchmark's own timings."""
+    set_profiler(Profiler())
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``benchmarks/metrics.jsonl``: one JSON object per span with
+    count/total/mean/max/p95 — the per-phase breakdown that the
+    benchmark JSON alone cannot show."""
+    profiler = get_profiler()
+    set_profiler(None)
+    if profiler is None or not profiler.spans:
+        return
+    with open(METRICS_PATH, "w", encoding="utf-8") as fp:
+        for name, stats in profiler.snapshot().items():
+            fp.write(json.dumps({"span": name, **stats}) + "\n")
 
 
 @pytest.fixture

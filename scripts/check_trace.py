@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Validate a JSONL event trace against the observability schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace.py TRACE.jsonl
+
+Exits 0 when every line is a schema-valid event, 1 otherwise (listing
+each problem), 2 on usage errors.  Used by ``make trace-smoke`` and
+the CLI tests.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        from repro.obs import validate_jsonl_lines
+    except ImportError:
+        print(
+            "cannot import repro.obs — run with PYTHONPATH=src or after "
+            "`pip install -e .`",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(args[0], encoding="utf-8") as fp:
+            problems = validate_jsonl_lines(fp)
+    except OSError as exc:
+        print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
+        return 2
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args[0]}: INVALID ({len(problems)} problems)")
+        return 1
+    print(f"{args[0]}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

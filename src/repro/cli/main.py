@@ -12,6 +12,10 @@ Subcommands:
   both round models.
 * ``repro show SCENARIO`` — execute a named scenario and print the
   round tableau.
+* ``repro trace SCENARIO [--jsonl PATH]`` — execute a named scenario
+  under an event-log observer and export the structured trace.
+* ``repro metrics [SCENARIO]`` — execute a named scenario under a
+  metrics observer and print the counter/histogram dump.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.analysis import format_table, latency_profile, latency_summary_table
 from repro.commit import compare_commit_rates
@@ -40,6 +44,14 @@ from repro.core import (
     write_report,
 )
 from repro.failures import FailurePattern
+from repro.obs import (
+    CompositeObserver,
+    EventLog,
+    MetricsObserver,
+    MetricsRegistry,
+    Profiler,
+    set_profiler,
+)
 from repro.rounds import RoundModel, run_rs, run_rws
 from repro.sdd import SP_CANDIDATE_FACTORIES, refute_sdd_candidate, solve_sdd_ss
 from repro.trace import describe_run, round_tableau, step_diagram
@@ -91,6 +103,14 @@ SCENARIOS = {
 }
 
 
+#: Long-form names accepted anywhere a scenario name is (docs and the
+#: paper's prose refer to the counterexamples by these).
+SCENARIO_ALIASES = {
+    "floodset-rws-violation": "floodset-rws",
+    "a1-rws-disagreement": "a1-rws",
+}
+
+
 def _broadcast_split_scenario():
     from repro.broadcast import AtomicBroadcast
 
@@ -100,6 +120,21 @@ def _broadcast_split_scenario():
         floodset_rws_violation(3),
         RoundModel.RWS,
     )
+
+
+def _resolve_scenario(name: str) -> tuple[str, Any] | None:
+    """Look a scenario up by name or alias; ``None`` when unknown."""
+    return SCENARIOS.get(SCENARIO_ALIASES.get(name, name))
+
+
+def _unknown_scenario(name: str) -> int:
+    """Print the standard unknown-scenario message; returns exit code 2."""
+    known = sorted(SCENARIOS) + sorted(SCENARIO_ALIASES)
+    print(
+        f"error: unknown scenario {name!r}; choose from {known}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _run_by_id(exp_id: str, quick: bool):
@@ -186,14 +221,9 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    entry = SCENARIOS.get(args.scenario)
+    entry = _resolve_scenario(args.scenario)
     if entry is None:
-        print(
-            f"unknown scenario {args.scenario!r}; choose from "
-            f"{sorted(SCENARIOS)}",
-            file=sys.stderr,
-        )
-        return 2
+        return _unknown_scenario(args.scenario)
     blurb, build = entry
     algorithm, values, scenario, model = build()
     runner = run_rws if model is RoundModel.RWS else run_rs
@@ -207,6 +237,61 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(f"algorithm={algorithm.name}, model={model.value}, values={values}")
     print()
     print(round_tableau(run))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    entry = _resolve_scenario(args.scenario)
+    if entry is None:
+        return _unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, scenario, model = build()
+    log = EventLog()
+    registry = MetricsRegistry()
+    observer = CompositeObserver(log, MetricsObserver(registry))
+    runner = run_rws if model is RoundModel.RWS else run_rs
+    runner(
+        algorithm, values, scenario, t=1, max_rounds=4, observer=observer
+    )
+    if args.jsonl:
+        count = log.write_jsonl(args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}")
+    else:
+        for line in log.jsonl_lines():
+            print(line)
+    kinds: dict[str, int] = {}
+    for event in log:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    print(f"# {args.scenario}: {blurb}", file=sys.stderr)
+    print(f"# events: {summary}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    entry = _resolve_scenario(args.scenario)
+    if entry is None:
+        return _unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, scenario, model = build()
+    registry = MetricsRegistry()
+    profiler = Profiler()
+    set_profiler(profiler)
+    try:
+        runner = run_rws if model is RoundModel.RWS else run_rs
+        runner(
+            algorithm,
+            values,
+            scenario,
+            t=1,
+            max_rounds=4,
+            observer=MetricsObserver(registry),
+        )
+    finally:
+        set_profiler(None)
+    profiler.merge_into(registry)
+    print(f"{args.scenario}: {blurb}")
+    print(registry.render())
     return 0
 
 
@@ -257,13 +342,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_lat.set_defaults(func=_cmd_latency)
 
     p_show = sub.add_parser("show", help="render a named scenario")
-    p_show.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_show.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
     p_show.add_argument(
         "--dot",
         action="store_true",
         help="emit Graphviz DOT instead of the ASCII tableau",
     )
     p_show.set_defaults(func=_cmd_show)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a scenario's structured event trace"
+    )
+    p_trace.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
+    p_trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the trace to PATH (default: print to stdout)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print a scenario's metrics snapshot"
+    )
+    p_metrics.add_argument(
+        "scenario",
+        nargs="?",
+        default="floodset-rws",
+        help=f"one of {sorted(SCENARIOS)} (default: floodset-rws)",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

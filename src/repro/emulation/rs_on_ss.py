@@ -40,6 +40,8 @@ from typing import Any, Mapping, Sequence
 from repro.errors import ConfigurationError, ExecutionError
 from repro.failures.pattern import FailurePattern
 from repro.models.ss import SSScheduler
+from repro.obs.events import Observer
+from repro.obs.profile import profiled
 from repro.rounds.algorithm import RoundAlgorithm
 from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
 from repro.simulation.executor import StepExecutor
@@ -235,6 +237,7 @@ def emulate_rs_on_ss(
     num_rounds: int | None = None,
     rng: random.Random | None = None,
     max_steps: int | None = None,
+    observer: Observer | None = None,
 ) -> EmulatedRoundTrace:
     """Run a round algorithm on the SS step kernel and lift the trace.
 
@@ -242,6 +245,9 @@ def emulate_rs_on_ss(
     placements the step-level granularity the round model abstracts
     away (a crash between two send steps of the same round is exactly
     the round model's "crashed in the middle of a broadcast").
+
+    ``observer`` receives the underlying step kernel's events plus a
+    lifted ``decide`` event per deciding process.
     """
     n = len(values)
     rounds = num_rounds if num_rounds is not None else t + 2
@@ -255,7 +261,7 @@ def emulate_rs_on_ss(
         else (deadline + 2) * n * (phi + 1)
     )
     scheduler = SSScheduler(phi, delta, rng=rng)
-    executor = StepExecutor(automaton, n, pattern, scheduler)
+    executor = StepExecutor(automaton, n, pattern, scheduler, observer=observer)
 
     def everyone_finished(states: Mapping[int, _EmuState]) -> bool:
         return all(
@@ -264,7 +270,8 @@ def emulate_rs_on_ss(
             if pid in pattern.correct
         )
 
-    run = executor.execute(horizon, stop_when=everyone_finished)
+    with profiled("emulation.rs_on_ss"):
+        run = executor.execute(horizon, stop_when=everyone_finished)
 
     senders_used: dict[int, dict[int, frozenset[int]]] = {}
     decisions: dict[int, tuple[int, Any] | None] = {}
@@ -285,6 +292,10 @@ def emulate_rs_on_ss(
                 f"correct process {pid} did not finish {rounds} rounds "
                 f"within {horizon} steps"
             )
+    if observer is not None:
+        for pid, entry in sorted(decisions.items()):
+            if entry is not None:
+                observer.decide(pid, entry[1], entry[0])
     return EmulatedRoundTrace(
         n=n,
         num_rounds=rounds,

@@ -24,6 +24,8 @@ from repro.errors import ConfigurationError, ExecutionError
 from repro.failures.detectors import PerfectDetector
 from repro.failures.pattern import FailurePattern
 from repro.models.sp import PerfectFDModel
+from repro.obs.events import Observer
+from repro.obs.profile import profiled
 from repro.rounds.algorithm import RoundAlgorithm
 from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
 from repro.simulation.executor import StepExecutor
@@ -182,12 +184,17 @@ def emulate_rws_on_sp(
     max_detection_delay: int = 30,
     delivery_prob: float = 0.5,
     max_age: int = 60,
+    observer: Observer | None = None,
 ) -> EmulatedRoundTrace:
     """Run a round algorithm on the SP step kernel and lift the trace.
 
     The detector history's arbitrary (finite) detection delays and the
     scheduler's arbitrary (bounded-by-``max_age``) message delays are
     the two slacks that produce pending messages.
+
+    ``observer`` receives the underlying step kernel's events (message
+    sends/deliveries, crashes, detector suspicions) plus a lifted
+    ``decide`` event per deciding process.
     """
     n = len(values)
     rounds = num_rounds if num_rounds is not None else t + 2
@@ -203,6 +210,7 @@ def emulate_rws_on_sp(
         pattern,
         model.make_scheduler(rng),
         history=model.make_history(pattern, horizon=max_steps, rng=rng),
+        observer=observer,
     )
 
     def everyone_finished(states: Mapping[int, _SPEmuState]) -> bool:
@@ -212,7 +220,8 @@ def emulate_rws_on_sp(
             if pid in pattern.correct
         )
 
-    run = executor.execute(max_steps, stop_when=everyone_finished)
+    with profiled("emulation.rws_on_sp"):
+        run = executor.execute(max_steps, stop_when=everyone_finished)
 
     senders_used: dict[int, dict[int, frozenset[int]]] = {}
     decisions: dict[int, tuple[int, Any] | None] = {}
@@ -231,6 +240,10 @@ def emulate_rws_on_sp(
                 f"correct process {pid} did not finish {rounds} rounds "
                 f"within {max_steps} SP steps"
             )
+    if observer is not None:
+        for pid, entry in sorted(decisions.items()):
+            if entry is not None:
+                observer.decide(pid, entry[1], entry[0])
     return EmulatedRoundTrace(
         n=n,
         num_rounds=rounds,

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.failures.history import FailureDetectorHistory, FunctionHistory
 from repro.failures.pattern import FailurePattern
+from repro.obs.profile import profiled
 
 
 @dataclass(frozen=True)
@@ -95,14 +96,15 @@ def _crash_detection_times(
     the finite history).
     """
     onsets: dict[tuple[int, int], int] = {}
-    for crashed, crash_time in pattern.crash_times.items():
-        for observer in range(pattern.n):
-            if rng is None:
-                delay = 0
-            else:
-                delay = rng.randint(0, max_delay)
-            onset = min(crash_time + delay, horizon)
-            onsets[(observer, crashed)] = onset
+    with profiled("detectors.crash_detection_times"):
+        for crashed, crash_time in pattern.crash_times.items():
+            for observer in range(pattern.n):
+                if rng is None:
+                    delay = 0
+                else:
+                    delay = rng.randint(0, max_delay)
+                onset = min(crash_time + delay, horizon)
+                onsets[(observer, crashed)] = onset
     return onsets
 
 
@@ -185,13 +187,15 @@ class EventuallyPerfectDetector(FailureDetector):
         # stable function of (pid, t) rather than of query order.
         chaos: dict[tuple[int, int], frozenset[int]] = {}
         if rng is not None:
-            for t in range(gst):
-                for pid in range(pattern.n):
-                    wrong = frozenset(
-                        q for q in range(pattern.n)
-                        if q != pid and rng.random() < self.false_suspicion_prob
-                    )
-                    chaos[(pid, t)] = wrong
+            with profiled("detectors.eventual_chaos"):
+                for t in range(gst):
+                    for pid in range(pattern.n):
+                        wrong = frozenset(
+                            q for q in range(pattern.n)
+                            if q != pid
+                            and rng.random() < self.false_suspicion_prob
+                        )
+                        chaos[(pid, t)] = wrong
 
         def suspects(pid: int, t: int) -> frozenset[int]:
             if t >= gst:

@@ -1,0 +1,68 @@
+"""Observability: structured event tracing, metrics, and profiling.
+
+The paper's headline result is quantitative (Λ = 1 in RS vs Λ ≥ 2 in
+RWS), but a latency number alone does not explain *why* a run took the
+rounds it did — which messages were withheld, when detectors suspected,
+where wall-clock time went.  This package is the instrumentation
+substrate that answers those questions without perturbing the engines:
+
+* :class:`Observer` — the event protocol both execution engines speak.
+  Every hook is a no-op on the base class and every engine call site is
+  guarded by ``observer is not None``, so the default path stays
+  zero-cost.
+* :class:`EventLog` — an observer that records typed, timestamped
+  events (``round_start``, ``msg_sent``, ``msg_withheld``,
+  ``msg_delivered``, ``crash``, ``suspect``, ``decide``, ``halt``) and
+  exports them as JSONL.
+* :class:`MetricsRegistry` / :class:`MetricsObserver` — counters,
+  gauges and histograms derived from the same event stream (messages
+  per round, decision-round distribution, suspicion latency, scenario
+  rejections).
+* :class:`Profiler` and :func:`profiled` — ``perf_counter`` span
+  timers wrapping the engines' hot paths; inert until a profiler is
+  installed with :func:`set_profiler`.
+
+See ``docs/observability.md`` for the event taxonomy and a worked
+example mapping a trace back to the paper's run notation.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    CompositeObserver,
+    Event,
+    EventLog,
+    Observer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    Profiler,
+    get_profiler,
+    profiled,
+    set_profiler,
+)
+from repro.obs.schema import validate_event_dict, validate_jsonl_lines
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "Observer",
+    "EventLog",
+    "CompositeObserver",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "Profiler",
+    "profiled",
+    "get_profiler",
+    "set_profiler",
+    "validate_event_dict",
+    "validate_jsonl_lines",
+]

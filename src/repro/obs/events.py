@@ -1,0 +1,393 @@
+"""Typed, timestamped structured events and the observer protocol.
+
+The taxonomy is deliberately small and closed — eight kinds, each a
+direct counterpart of a concept in the paper's run vocabulary:
+
+==============  ==============================================
+``round_start``  a round-model round begins
+``msg_sent``     a message reached the network
+``msg_withheld`` a sent message was withheld from its recipient
+                 this round (RWS pending messages)
+``msg_delivered`` a message was received
+``crash``        a process crashed
+``suspect``      a detector module began suspecting a process
+``decide``       a process decided a value
+``halt``         a process halted (will never send again)
+==============  ==============================================
+
+Observers receive these through typed hook methods rather than a single
+``emit(event)`` funnel so that engines never build :class:`Event`
+objects — or compute their fields — unless an observer actually wants
+them.  The base :class:`Observer` implements every hook as a no-op;
+engines additionally guard each call site with ``observer is not
+None``, which keeps the uninstrumented path free of any allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
+
+#: The closed set of event kinds an :class:`EventLog` may contain.
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        "round_start",
+        "msg_sent",
+        "msg_withheld",
+        "msg_delivered",
+        "crash",
+        "suspect",
+        "decide",
+        "halt",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation.
+
+    Attributes:
+        kind: One of :data:`EVENT_KINDS`.
+        ts: ``perf_counter`` timestamp at record time (wall-clock
+            profile; not comparable across processes or logs).
+        round: Round index for round-model events (1-based), if any.
+        time: Global step time for step-model events, if any.
+        pid: The process the event is about (recipient for deliveries,
+            observer for suspicions).
+        peer: The other process involved (sender for message events,
+            the suspected process for ``suspect``).
+        value: Event-specific payload (decision value, suspicion
+            delay, ...).
+    """
+
+    kind: str
+    ts: float
+    round: int | None = None
+    time: int | None = None
+    pid: int | None = None
+    peer: int | None = None
+    value: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict, omitting unset fields."""
+        out: dict[str, Any] = {"kind": self.kind, "ts": self.ts}
+        for key in ("round", "time", "pid", "peer", "value"):
+            val = getattr(self, key)
+            if val is not None:
+                out[key] = val
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=repr, sort_keys=True)
+
+
+class Observer:
+    """The event protocol: every hook is a no-op by default.
+
+    Subclass and override the hooks you care about.  All hooks take the
+    minimum information the engines have on hand; none return anything.
+    """
+
+    __slots__ = ()
+
+    def round_start(self, round_index: int, alive: Sequence[int]) -> None:
+        """Round ``round_index`` begins with ``alive`` processes."""
+
+    def msg_sent(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        """A message from ``sender`` to ``recipient`` reached the network."""
+
+    def msg_withheld(
+        self, sender: int, recipient: int, round_index: int
+    ) -> None:
+        """A sent message was withheld this round (RWS pending)."""
+
+    def msg_delivered(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        """A message from ``sender`` was received by ``recipient``."""
+
+    def crash(
+        self,
+        pid: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        """Process ``pid`` crashed."""
+
+    def suspect(
+        self,
+        pid: int,
+        suspected: int,
+        *,
+        time: int | None = None,
+        delay: int | None = None,
+    ) -> None:
+        """``pid``'s detector module began suspecting ``suspected``.
+
+        ``delay`` is the suspicion latency (onset minus crash time)
+        when the caller knows it.
+        """
+
+    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+        """Process ``pid`` decided ``value``."""
+
+    def halt(self, pid: int, round_index: int | None = None) -> None:
+        """Process ``pid`` halted — it will never send again."""
+
+    def scenario_rejected(self, problems: Sequence[str]) -> None:
+        """Scenario validation rejected a scenario (not an event kind;
+        surfaces only in metrics)."""
+
+
+class EventLog(Observer):
+    """An observer that records every event, exportable as JSONL.
+
+    Args:
+        clock: Timestamp source; defaults to :func:`time.perf_counter`.
+            Inject a counter in tests for deterministic timestamps.
+    """
+
+    __slots__ = ("events", "_clock")
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.events: list[Event] = []
+        self._clock = clock if clock is not None else time.perf_counter
+
+    # -- recording hooks ----------------------------------------------------
+
+    def round_start(self, round_index: int, alive: Sequence[int]) -> None:
+        self.events.append(
+            Event(
+                kind="round_start",
+                ts=self._clock(),
+                round=round_index,
+                value=sorted(alive),
+            )
+        )
+
+    def msg_sent(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        self.events.append(
+            Event(
+                kind="msg_sent",
+                ts=self._clock(),
+                round=round_index,
+                time=time,
+                pid=recipient,
+                peer=sender,
+            )
+        )
+
+    def msg_withheld(
+        self, sender: int, recipient: int, round_index: int
+    ) -> None:
+        self.events.append(
+            Event(
+                kind="msg_withheld",
+                ts=self._clock(),
+                round=round_index,
+                pid=recipient,
+                peer=sender,
+            )
+        )
+
+    def msg_delivered(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        self.events.append(
+            Event(
+                kind="msg_delivered",
+                ts=self._clock(),
+                round=round_index,
+                time=time,
+                pid=recipient,
+                peer=sender,
+            )
+        )
+
+    def crash(
+        self,
+        pid: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        self.events.append(
+            Event(
+                kind="crash",
+                ts=self._clock(),
+                round=round_index,
+                time=time,
+                pid=pid,
+            )
+        )
+
+    def suspect(
+        self,
+        pid: int,
+        suspected: int,
+        *,
+        time: int | None = None,
+        delay: int | None = None,
+    ) -> None:
+        self.events.append(
+            Event(
+                kind="suspect",
+                ts=self._clock(),
+                time=time,
+                pid=pid,
+                peer=suspected,
+                value=delay,
+            )
+        )
+
+    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+        self.events.append(
+            Event(
+                kind="decide",
+                ts=self._clock(),
+                round=round_index,
+                pid=pid,
+                value=value,
+            )
+        )
+
+    def halt(self, pid: int, round_index: int | None = None) -> None:
+        self.events.append(
+            Event(kind="halt", ts=self._clock(), round=round_index, pid=pid)
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def kinds(self) -> list[str]:
+        """The event kinds in record order (handy for sequence asserts)."""
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    # -- export -------------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterable[str]:
+        for event in self.events:
+            yield event.to_json()
+
+    def dump_jsonl(self, fp: TextIO) -> int:
+        """Write one JSON object per line; returns the event count."""
+        for line in self.jsonl_lines():
+            fp.write(line)
+            fp.write("\n")
+        return len(self.events)
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.dump_jsonl(fp)
+
+
+class CompositeObserver(Observer):
+    """Fan one event stream out to several observers (log + metrics)."""
+
+    __slots__ = ("observers",)
+
+    def __init__(self, *observers: Observer) -> None:
+        self.observers = tuple(observers)
+
+    def round_start(self, round_index: int, alive: Sequence[int]) -> None:
+        for obs in self.observers:
+            obs.round_start(round_index, alive)
+
+    def msg_sent(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        for obs in self.observers:
+            obs.msg_sent(sender, recipient, round_index=round_index, time=time)
+
+    def msg_withheld(
+        self, sender: int, recipient: int, round_index: int
+    ) -> None:
+        for obs in self.observers:
+            obs.msg_withheld(sender, recipient, round_index)
+
+    def msg_delivered(
+        self,
+        sender: int,
+        recipient: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        for obs in self.observers:
+            obs.msg_delivered(
+                sender, recipient, round_index=round_index, time=time
+            )
+
+    def crash(
+        self,
+        pid: int,
+        *,
+        round_index: int | None = None,
+        time: int | None = None,
+    ) -> None:
+        for obs in self.observers:
+            obs.crash(pid, round_index=round_index, time=time)
+
+    def suspect(
+        self,
+        pid: int,
+        suspected: int,
+        *,
+        time: int | None = None,
+        delay: int | None = None,
+    ) -> None:
+        for obs in self.observers:
+            obs.suspect(pid, suspected, time=time, delay=delay)
+
+    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+        for obs in self.observers:
+            obs.decide(pid, value, round_index)
+
+    def halt(self, pid: int, round_index: int | None = None) -> None:
+        for obs in self.observers:
+            obs.halt(pid, round_index)
+
+    def scenario_rejected(self, problems: Sequence[str]) -> None:
+        for obs in self.observers:
+            obs.scenario_rejected(problems)

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ScenarioError
+from repro.obs.events import Observer
+from repro.obs.profile import profiled
 from repro.rounds.algorithm import RoundAlgorithm
 from repro.rounds.scenario import FailureScenario, PendingMessage, validate_scenario
 
@@ -33,7 +36,8 @@ class RoundRecord:
         sent: ``(sender, recipient) -> payload`` for every message that
             was actually sent (reached the network).
         delivered: ``recipient -> {sender: payload}`` for every message
-            received this round.
+            received this round.  Both mapping levels are read-only
+            views; mutating them raises ``TypeError``.
         transitioned: Processes that applied their transition.
         crashed: Processes that crashed during this round.
     """
@@ -103,6 +107,7 @@ def execute(
     max_rounds: int,
     validate: bool = True,
     run_all_rounds: bool = False,
+    observer: Observer | None = None,
 ) -> RoundRun:
     """Execute ``algorithm`` from ``values`` under ``scenario``.
 
@@ -119,6 +124,9 @@ def execute(
             is still alive has decided and no process will send again
             (``algorithm.halted``).  Set True to always execute exactly
             ``max_rounds`` rounds.
+        observer: Optional :class:`~repro.obs.Observer` receiving the
+            run's structured events (``round_start``, ``msg_sent``,
+            ``msg_withheld``, ...).  ``None`` (default) costs nothing.
 
     Returns:
         The completed :class:`RoundRun`.
@@ -136,6 +144,8 @@ def execute(
             horizon=max_rounds,
         )
         if problems:
+            if observer is not None:
+                observer.scenario_rejected(problems)
             raise ScenarioError("; ".join(problems))
 
     states: dict[int, Any] = {
@@ -151,11 +161,24 @@ def execute(
         scenario=scenario,
     )
 
-    for round_index in range(1, max_rounds + 1):
-        record = _execute_round(algorithm, states, scenario, round_index, run)
-        run.rounds.append(record)
-        if not run_all_rounds and _quiescent(algorithm, states, scenario, round_index):
-            break
+    with profiled("rounds.execute"):
+        for round_index in range(1, max_rounds + 1):
+            record = _execute_round(
+                algorithm, states, scenario, round_index, run, observer
+            )
+            run.rounds.append(record)
+            if not run_all_rounds and _quiescent(
+                algorithm, states, scenario, round_index
+            ):
+                break
+
+    if observer is not None:
+        final_round = len(run.rounds)
+        for pid in range(n):
+            if scenario.alive_at_start(
+                pid, final_round + 1
+            ) and algorithm.halted(pid, states[pid]):
+                observer.halt(pid, final_round)
 
     run.final_states = dict(states)
     return run
@@ -167,8 +190,19 @@ def _execute_round(
     scenario: FailureScenario,
     round_index: int,
     run: RoundRun,
+    observer: Observer | None = None,
 ) -> RoundRecord:
     n = scenario.n
+
+    if observer is not None:
+        observer.round_start(
+            round_index,
+            [
+                pid
+                for pid in range(n)
+                if scenario.alive_at_start(pid, round_index)
+            ],
+        )
 
     # Send phase: every process beginning the round generates messages.
     sent: dict[tuple[int, int], Any] = {}
@@ -190,6 +224,8 @@ def _execute_round(
             if crashing_now and recipient == pid and not crash.applies_transition:
                 continue  # a self-message nobody will ever read
             sent[(pid, recipient)] = payload
+            if observer is not None:
+                observer.msg_sent(pid, recipient, round_index=round_index)
 
     # Delivery phase: withhold pending messages (RWS only; validated).
     delivered: dict[int, dict[int, Any]] = {pid: {} for pid in range(n)}
@@ -199,8 +235,12 @@ def _execute_round(
             and PendingMessage(sender, recipient, round_index)
             in scenario.pending
         ):
+            if observer is not None:
+                observer.msg_withheld(sender, recipient, round_index)
             continue
         delivered[recipient][sender] = payload
+        if observer is not None:
+            observer.msg_delivered(sender, recipient, round_index=round_index)
 
     # Transition phase: processes completing the round apply trans.
     transitioned: set[int] = set()
@@ -209,6 +249,8 @@ def _execute_round(
         crash = scenario.crash_of(pid)
         if crash is not None and crash.round == round_index:
             crashed_now.add(pid)
+            if observer is not None:
+                observer.crash(pid, round_index=round_index)
         if not scenario.alive_at_end(pid, round_index):
             continue
         if not scenario.alive_at_start(pid, round_index):
@@ -218,11 +260,18 @@ def _execute_round(
         decision = algorithm.decision_of(states[pid])
         if decision is not None and pid not in run.decisions:
             run.decisions[pid] = (round_index, decision)
+            if observer is not None:
+                observer.decide(pid, decision, round_index)
 
+    # The record exposes read-only views of the freshly built delivery
+    # maps instead of copying them — nothing mutates them after this
+    # point, and MappingProxyType makes that a guarantee for consumers.
     return RoundRecord(
         index=round_index,
-        sent=sent,
-        delivered={pid: dict(msgs) for pid, msgs in delivered.items()},
+        sent=MappingProxyType(sent),
+        delivered=MappingProxyType(
+            {pid: MappingProxyType(msgs) for pid, msgs in delivered.items()}
+        ),
         transitioned=frozenset(transitioned),
         crashed=frozenset(crashed_now),
     )
@@ -250,6 +299,7 @@ def run_rs(
     t: int,
     max_rounds: int | None = None,
     run_all_rounds: bool = False,
+    observer: Observer | None = None,
 ) -> RoundRun:
     """Execute in the RS model (round synchrony; no pending messages)."""
     horizon = max_rounds if max_rounds is not None else t + 2
@@ -261,6 +311,7 @@ def run_rs(
         model=RoundModel.RS,
         max_rounds=horizon,
         run_all_rounds=run_all_rounds,
+        observer=observer,
     )
 
 
@@ -272,6 +323,7 @@ def run_rws(
     t: int,
     max_rounds: int | None = None,
     run_all_rounds: bool = False,
+    observer: Observer | None = None,
 ) -> RoundRun:
     """Execute in the RWS model (weak round synchrony; pending allowed)."""
     horizon = max_rounds if max_rounds is not None else t + 2
@@ -283,4 +335,5 @@ def run_rws(
         model=RoundModel.RWS,
         max_rounds=horizon,
         run_all_rounds=run_all_rounds,
+        observer=observer,
     )

@@ -13,6 +13,8 @@ from typing import Any, Callable, Sequence
 from repro.errors import ConfigurationError, ScheduleError
 from repro.failures.history import FailureDetectorHistory
 from repro.failures.pattern import FailurePattern
+from repro.obs.events import Observer
+from repro.obs.profile import profiled
 from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
 from repro.simulation.message import Message
 from repro.simulation.run import Run
@@ -35,6 +37,9 @@ class StepExecutor:
         record_states: If True, snapshot the stepping process's state
             after every step (used by fine-grained validators; costs
             memory on long runs).
+        observer: Optional :class:`~repro.obs.Observer` receiving the
+            run's structured events (``msg_sent``, ``msg_delivered``,
+            ``crash``, ``suspect``); ``None`` (default) costs nothing.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class StepExecutor:
         *,
         history: FailureDetectorHistory | None = None,
         record_states: bool = False,
+        observer: Observer | None = None,
     ) -> None:
         if n <= 0:
             raise ConfigurationError(f"n must be positive, got {n}")
@@ -66,6 +72,7 @@ class StepExecutor:
         self.scheduler = scheduler
         self.history = history
         self.record_states = record_states
+        self.observer = observer
 
     def execute(
         self,
@@ -79,6 +86,15 @@ class StepExecutor:
         process is alive, or when ``stop_when(states)`` becomes true
         (checked after every step).
         """
+        with profiled("simulation.execute"):
+            return self._execute(max_steps, stop_when=stop_when)
+
+    def _execute(
+        self,
+        max_steps: int,
+        *,
+        stop_when: Callable[[dict[int, Any]], bool] | None = None,
+    ) -> Run:
         states: dict[int, Any] = {
             pid: self._automata[pid].initial_state(pid, self.n)
             for pid in range(self.n)
@@ -90,6 +106,9 @@ class StepExecutor:
         messages: dict[int, Message] = {}
         snapshots: list[Any] | None = [] if self.record_states else None
         next_uid = 0
+        observer = self.observer
+        prev_alive = frozenset(range(self.n)) if observer is not None else None
+        seen_suspects: dict[int, frozenset[int]] = {}
 
         for index in range(max_steps):
             time = index
@@ -97,6 +116,10 @@ class StepExecutor:
                 pid for pid in range(self.n)
                 if self.pattern.is_alive(pid, time)
             )
+            if observer is not None and prev_alive is not None:
+                for crashed in sorted(prev_alive - alive):
+                    observer.crash(crashed, time=time)
+                prev_alive = alive
             if not alive:
                 break
             view = SchedulerView(
@@ -128,6 +151,26 @@ class StepExecutor:
                 if self.history is not None
                 else None
             )
+            if observer is not None:
+                for message in delivered:
+                    observer.msg_delivered(
+                        message.sender, message.recipient, time=time
+                    )
+                if suspects is not None:
+                    fresh = suspects - seen_suspects.get(pid, frozenset())
+                    for suspected in sorted(fresh):
+                        crash_time = self.pattern.crash_times.get(suspected)
+                        observer.suspect(
+                            pid,
+                            suspected,
+                            time=time,
+                            delay=(
+                                time - crash_time
+                                if crash_time is not None
+                                else None
+                            ),
+                        )
+                    seen_suspects[pid] = suspects
             ctx = StepContext(
                 pid=pid,
                 n=self.n,
@@ -158,6 +201,8 @@ class StepExecutor:
                 messages[message.uid] = message
                 buffers[sent_to].append(message)
                 sent_uid = message.uid
+                if observer is not None:
+                    observer.msg_sent(pid, sent_to, time=time)
 
             schedule.append(
                 Step(

@@ -1,5 +1,5 @@
 """Small descriptive-statistics helpers for benches and reports."""
 
-from repro.stats.summary import Summary, summarize, rate
+from repro.stats.summary import Summary, percentile, summarize, rate
 
-__all__ = ["Summary", "summarize", "rate"]
+__all__ = ["Summary", "percentile", "summarize", "rate"]

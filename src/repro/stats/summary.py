@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -9,7 +10,14 @@ from typing import Iterable, Sequence
 
 @dataclass(frozen=True)
 class Summary:
-    """min/mean/median/max/stdev of a sample."""
+    """min/mean/median/max/stdev of a sample.
+
+    ``stdev`` is the *sample* standard deviation
+    (:func:`statistics.stdev`, n−1 denominator); ``pstdev`` is the
+    *population* standard deviation (:func:`statistics.pstdev`).
+    Earlier versions reported the population value under the ``stdev``
+    name — both are now explicit fields.
+    """
 
     count: int
     minimum: float
@@ -17,6 +25,7 @@ class Summary:
     median: float
     maximum: float
     stdev: float
+    pstdev: float
 
     def describe(self, unit: str = "") -> str:
         suffix = f" {unit}" if unit else ""
@@ -38,8 +47,32 @@ def summarize(values: Sequence[float] | Iterable[float]) -> Summary:
         mean=statistics.fmean(data),
         median=statistics.median(data),
         maximum=max(data),
-        stdev=statistics.pstdev(data) if len(data) > 1 else 0.0,
+        stdev=statistics.stdev(data) if len(data) > 1 else 0.0,
+        pstdev=statistics.pstdev(data) if len(data) > 1 else 0.0,
     )
+
+
+def percentile(values: Sequence[float] | Iterable[float], p: float) -> float:
+    """The ``p``-th percentile of a non-empty sample (0 <= p <= 100).
+
+    Linear interpolation between closest ranks — the same convention as
+    ``numpy.percentile``'s default — so ``percentile(data, 50)`` equals
+    the median.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (p / 100) * (len(data) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(data[lower])
+    weight = rank - lower
+    return data[lower] * (1 - weight) + data[upper] * weight
 
 
 def rate(hits: int, total: int) -> float:

@@ -1,0 +1,405 @@
+"""Tests for the observability layer: events, metrics, profiling."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.consensus import FloodSet
+from repro.errors import ScenarioError
+from repro.failures import FailurePattern
+from repro.obs import (
+    CompositeObserver,
+    EventLog,
+    MetricsObserver,
+    MetricsRegistry,
+    Profiler,
+    get_profiler,
+    profiled,
+    set_profiler,
+    validate_event_dict,
+    validate_jsonl_lines,
+)
+from repro.rounds import FailureScenario, run_rs, run_rws
+from repro.simulation import RoundRobinScheduler, StepExecutor
+from repro.simulation.automaton import IdleAutomaton
+from repro.stats import percentile, summarize
+from repro.workloads import adversarial_split, floodset_rws_violation
+
+
+def _counter_clock():
+    """Deterministic timestamps: 1.0, 2.0, 3.0, ..."""
+    counter = itertools.count(1)
+    return lambda: float(next(counter))
+
+
+class TestEventSequence:
+    """The recording-observer contract: exact events, exact order."""
+
+    def run_violation(self):
+        log = EventLog(clock=_counter_clock())
+        run = run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            t=1,
+            max_rounds=4,
+            observer=log,
+        )
+        return run, log
+
+    def test_exact_event_sequence(self):
+        """3-process FloodSet, one crash, two withheld round-1 copies:
+        the full event list, in order."""
+        _, log = self.run_violation()
+        # (kind, round, pid, peer) for every event; value checked apart.
+        shape = [(e.kind, e.round, e.pid, e.peer) for e in log]
+        assert shape == [
+            ("round_start", 1, None, None),
+            # send phase: p0, p1, p2 each broadcast to 0, 1, 2
+            ("msg_sent", 1, 0, 0),
+            ("msg_sent", 1, 1, 0),
+            ("msg_sent", 1, 2, 0),
+            ("msg_sent", 1, 0, 1),
+            ("msg_sent", 1, 1, 1),
+            ("msg_sent", 1, 2, 1),
+            ("msg_sent", 1, 0, 2),
+            ("msg_sent", 1, 1, 2),
+            ("msg_sent", 1, 2, 2),
+            # delivery phase: p0's copies to p1 and p2 are withheld
+            ("msg_delivered", 1, 0, 0),
+            ("msg_withheld", 1, 1, 0),
+            ("msg_withheld", 1, 2, 0),
+            ("msg_delivered", 1, 0, 1),
+            ("msg_delivered", 1, 1, 1),
+            ("msg_delivered", 1, 2, 1),
+            ("msg_delivered", 1, 0, 2),
+            ("msg_delivered", 1, 1, 2),
+            ("msg_delivered", 1, 2, 2),
+            ("round_start", 2, None, None),
+            # round 2: p0 crashes mid-broadcast reaching only p1
+            ("msg_sent", 2, 1, 0),
+            ("msg_sent", 2, 0, 1),
+            ("msg_sent", 2, 1, 1),
+            ("msg_sent", 2, 2, 1),
+            ("msg_sent", 2, 0, 2),
+            ("msg_sent", 2, 1, 2),
+            ("msg_sent", 2, 2, 2),
+            ("msg_delivered", 2, 1, 0),
+            ("msg_delivered", 2, 0, 1),
+            ("msg_delivered", 2, 1, 1),
+            ("msg_delivered", 2, 2, 1),
+            ("msg_delivered", 2, 0, 2),
+            ("msg_delivered", 2, 1, 2),
+            ("msg_delivered", 2, 2, 2),
+            ("crash", 2, 0, None),
+            ("decide", 2, 1, None),
+            ("decide", 2, 2, None),
+            ("halt", 2, 1, None),
+            ("halt", 2, 2, None),
+        ]
+
+    def test_withheld_events_match_declared_pending(self):
+        """Every declared pending message appears as exactly one
+        msg_withheld event, and nothing else does."""
+        scenario = floodset_rws_violation(3)
+        _, log = self.run_violation()
+        emitted = {
+            (e.peer, e.pid, e.round) for e in log.of_kind("msg_withheld")
+        }
+        declared = {
+            (p.sender, p.recipient, p.round) for p in scenario.pending
+        }
+        assert emitted == declared
+        assert len(log.of_kind("msg_withheld")) == len(scenario.pending)
+
+    def test_disagreement_visible_in_decide_events(self):
+        """The trace exposes the paper's violation: two different
+        decision values among correct processes."""
+        _, log = self.run_violation()
+        values = {e.value for e in log.of_kind("decide")}
+        assert len(values) == 2
+
+    def test_timestamps_monotonic(self):
+        _, log = self.run_violation()
+        stamps = [e.ts for e in log]
+        assert stamps == sorted(stamps)
+
+
+class TestNoOpEquivalence:
+    """Instrumentation must not perturb execution."""
+
+    def test_results_identical_with_and_without_observer(self):
+        kwargs = dict(t=1, max_rounds=4)
+        bare = run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            **kwargs,
+        )
+        observed = run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            observer=CompositeObserver(EventLog(), MetricsObserver()),
+            **kwargs,
+        )
+        assert bare.rounds == observed.rounds
+        assert bare.decisions == observed.decisions
+        assert bare.final_states == observed.final_states
+        assert bare.num_rounds == observed.num_rounds
+        assert bare.latency() == observed.latency()
+
+    def test_step_kernel_identical_with_and_without_observer(self):
+        pattern = FailurePattern.crash_free(3)
+
+        def run(observer):
+            executor = StepExecutor(
+                IdleAutomaton(),
+                3,
+                pattern,
+                RoundRobinScheduler(),
+                observer=observer,
+            )
+            return executor.execute(50)
+
+        bare, observed = run(None), run(EventLog())
+        assert len(bare.schedule) == len(observed.schedule)
+        assert bare.final_states == observed.final_states
+
+
+class TestRoundRecordImmutability:
+    """The lazily-wrapped delivery maps are genuinely read-only."""
+
+    def test_delivered_views_reject_mutation(self):
+        run = run_rs(
+            FloodSet(),
+            [0, 1, 1],
+            FailureScenario.failure_free(3),
+            t=1,
+        )
+        record = run.rounds[0]
+        with pytest.raises(TypeError):
+            record.delivered[0] = {}
+        with pytest.raises(TypeError):
+            record.delivered[0][99] = "x"
+        with pytest.raises(TypeError):
+            record.sent[(0, 0)] = "x"
+
+    def test_delivered_still_reads_like_a_mapping(self):
+        run = run_rs(
+            FloodSet(),
+            [0, 1, 1],
+            FailureScenario.failure_free(3),
+            t=1,
+        )
+        record = run.rounds[0]
+        assert set(record.delivered) == {0, 1, 2}
+        assert record.delivered[1][0] is not None
+        assert dict(record.delivered[0]) == dict(record.delivered[0])
+
+
+class TestMetrics:
+    def test_per_round_message_counters(self):
+        registry = MetricsRegistry()
+        run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            t=1,
+            max_rounds=4,
+            observer=MetricsObserver(registry),
+        )
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["messages.withheld"] == 2
+        assert counters["messages.withheld.round.1"] == 2
+        assert counters["messages.sent.round.1"] == 9
+        assert counters["messages.sent.round.2"] == 7
+        assert (
+            counters["messages.sent"]
+            == counters["messages.delivered"] + counters["messages.withheld"]
+        )
+        assert counters["decisions.round.2"] == 2
+        assert counters["crashes"] == 1
+        assert snap["histograms"]["decision.round"]["p50"] == 2
+
+    def test_scenario_rejection_counter(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ScenarioError):
+            run_rs(
+                FloodSet(),
+                adversarial_split(3),
+                floodset_rws_violation(3),  # pending not allowed in RS
+                t=1,
+                observer=MetricsObserver(registry),
+            )
+        assert (
+            registry.snapshot()["counters"]["scenario.validation_rejections"]
+            == 1
+        )
+
+    def test_suspicion_latency_histogram(self):
+        from repro.emulation import emulate_rws_on_sp
+        import random
+
+        registry = MetricsRegistry()
+        emulate_rws_on_sp(
+            FloodSet(),
+            adversarial_split(3),
+            FailurePattern.with_crashes(3, {0: 5}),
+            t=1,
+            num_rounds=2,
+            rng=random.Random(11),
+            max_detection_delay=2,
+            delivery_prob=0.15,
+            max_age=80,
+            observer=MetricsObserver(registry),
+        )
+        snap = registry.snapshot()
+        delays = snap["histograms"]["detector.suspicion_delay.steps"]
+        assert delays["count"] >= 1
+        assert delays["min"] >= 0  # strong accuracy: never before the crash
+        assert snap["counters"]["suspicions"] >= 1
+
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(2)
+        assert registry.counter("x").value == 3
+        registry.gauge("g").set(1.5)
+        assert registry.gauge("g").value == 1.5
+        registry.histogram("h").observe(1.0)
+        assert registry.histogram("h").snapshot()["count"] == 1
+        assert registry.histogram("empty").snapshot() == {"count": 0}
+
+    def test_render_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc()
+        registry.histogram("b.hist").observe(2.0)
+        text = registry.render()
+        assert "a.count = 1" in text
+        assert "b.hist:" in text
+
+
+class TestProfiler:
+    def test_spans_inert_without_profiler(self):
+        set_profiler(None)
+        with profiled("nothing"):
+            pass
+        assert get_profiler() is None
+
+    def test_spans_recorded_when_installed(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        try:
+            run_rs(
+                FloodSet(),
+                [0, 1, 1],
+                FailureScenario.failure_free(3),
+                t=1,
+            )
+        finally:
+            set_profiler(None)
+        snap = profiler.snapshot()
+        assert "rounds.execute" in snap
+        assert snap["rounds.execute"]["count"] == 1
+        assert snap["rounds.execute"]["total_s"] > 0
+
+    def test_merge_into_registry(self):
+        profiler = Profiler()
+        profiler.record("phase.x", 0.25)
+        profiler.record("phase.x", 0.75)
+        registry = MetricsRegistry()
+        profiler.merge_into(registry)
+        snap = registry.snapshot()["histograms"]["profile.phase.x.seconds"]
+        assert snap["count"] == 2
+        assert snap["mean"] == 0.5
+
+
+class TestSchema:
+    def test_valid_trace_passes(self):
+        log = EventLog(clock=_counter_clock())
+        run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            t=1,
+            max_rounds=4,
+            observer=log,
+        )
+        assert validate_jsonl_lines(log.jsonl_lines()) == []
+
+    def test_unknown_kind_rejected(self):
+        problems = validate_event_dict({"kind": "teleport", "ts": 1.0})
+        assert problems and "unknown event kind" in problems[0]
+
+    def test_missing_fields_rejected(self):
+        problems = validate_event_dict({"kind": "msg_withheld", "ts": 1.0})
+        assert any("missing field" in p for p in problems)
+
+    def test_extra_fields_rejected(self):
+        problems = validate_event_dict(
+            {"kind": "crash", "ts": 1.0, "pid": 0, "color": "red"}
+        )
+        assert any("unknown fields" in p for p in problems)
+
+    def test_bad_json_and_empty_trace(self):
+        assert any(
+            "not valid JSON" in p for p in validate_jsonl_lines(["{nope"])
+        )
+        assert validate_jsonl_lines([]) == ["trace contains no events"]
+
+    def test_jsonl_round_trip(self):
+        log = EventLog(clock=_counter_clock())
+        run_rs(
+            FloodSet(), [0, 1, 1], FailureScenario.failure_free(3), t=1,
+            observer=log,
+        )
+        lines = list(log.jsonl_lines())
+        decoded = [json.loads(line) for line in lines]
+        assert [d["kind"] for d in decoded] == log.kinds()
+
+
+class TestStatsHelpers:
+    def test_stdev_is_sample_stdev(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.stdev == pytest.approx(1.0)  # n-1 denominator
+        assert summary.pstdev == pytest.approx((2 / 3) ** 0.5)
+
+    def test_percentile_interpolates(self):
+        data = [1, 2, 3, 4]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 4
+        assert percentile(data, 50) == 2.5
+        assert percentile([7], 90) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestEmulationObservers:
+    def test_rs_on_ss_emits_kernel_events_and_decides(self):
+        import random
+        from repro.emulation import emulate_rs_on_ss
+
+        log = EventLog(clock=_counter_clock())
+        trace = emulate_rs_on_ss(
+            FloodSet(),
+            adversarial_split(3),
+            FailurePattern.crash_free(3),
+            t=1,
+            rng=random.Random(5),
+            observer=log,
+        )
+        assert log.of_kind("msg_sent")
+        assert log.of_kind("msg_delivered")
+        decided = {e.pid for e in log.of_kind("decide")}
+        assert decided == {
+            pid for pid, entry in trace.decisions.items() if entry
+        }

@@ -1,0 +1,135 @@
+"""CLI-level tests for ``repro trace`` / ``repro metrics`` — including
+the shelled-out smoke path that ``make trace-smoke`` uses."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+from repro.workloads import floodset_rws_violation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _shell(*args: str) -> subprocess.CompletedProcess:
+    """Run a command with src/ importable, as make trace-smoke does."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.run(
+        args, capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+
+
+class TestTraceSmoke:
+    """The trace-smoke pipeline: CLI export, then schema validation."""
+
+    def test_trace_export_then_schema_check(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        exported = _shell(
+            sys.executable,
+            "-m",
+            "repro",
+            "trace",
+            "floodset-rws-violation",
+            "--jsonl",
+            str(out),
+        )
+        assert exported.returncode == 0, exported.stderr
+        assert "wrote" in exported.stdout
+
+        checked = _shell(
+            sys.executable, "scripts/check_trace.py", str(out)
+        )
+        assert checked.returncode == 0, checked.stderr
+        assert "OK" in checked.stdout
+
+    def test_exported_withheld_events_match_scenario(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        result = _shell(
+            sys.executable,
+            "-m",
+            "repro",
+            "trace",
+            "floodset-rws-violation",
+            "--jsonl",
+            str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        events = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+            if line.strip()
+        ]
+        withheld = {
+            (e["peer"], e["pid"], e["round"])
+            for e in events
+            if e["kind"] == "msg_withheld"
+        }
+        declared = {
+            (p.sender, p.recipient, p.round)
+            for p in floodset_rws_violation(3).pending
+        }
+        assert withheld == declared
+
+    def test_schema_check_rejects_corrupt_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "teleport", "ts": 1.0}\n')
+        result = _shell(sys.executable, "scripts/check_trace.py", str(bad))
+        assert result.returncode == 1
+        assert "unknown event kind" in result.stderr
+
+
+class TestTraceCommand:
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace", "floodset-rws"]) == 0
+        out = capsys.readouterr().out
+        kinds = [json.loads(line)["kind"] for line in out.splitlines()]
+        assert "msg_withheld" in kinds
+        assert kinds[0] == "round_start"
+
+    def test_trace_alias_resolves(self, capsys, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "a1-rws-disagreement", "--jsonl", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_unknown_scenario_exits_2(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_per_round_counters(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "messages.sent.round.1 = 9" in out
+        assert "messages.withheld.round.1 = 2" in out
+        assert "decisions.round.2 = 2" in out
+        assert "profile.rounds.execute.seconds" in out
+
+    def test_metrics_unknown_scenario_exits_2(self, capsys):
+        assert main(["metrics", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestShowErrorPath:
+    def test_show_unknown_scenario_is_clean_error(self, capsys):
+        """No traceback, nonzero exit, helpful message."""
+        assert main(["show", "definitely-not-a-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "choose from" in err
+
+    def test_show_accepts_alias(self, capsys):
+        assert main(["show", "floodset-rws-violation"]) == 0
+        assert "round" in capsys.readouterr().out
