@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench examples experiments report trace-smoke clean
+.PHONY: install test test-fast bench bench-report examples experiments report trace-smoke check-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,6 +11,9 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	PYTHONPATH=src python scripts/bench_report.py
 
 examples:
 	@for script in examples/*.py; do \
@@ -29,6 +32,10 @@ TRACE_SMOKE_OUT ?= /tmp/repro_trace_smoke.jsonl
 trace-smoke:
 	PYTHONPATH=src python -m repro trace floodset-rws-violation --jsonl $(TRACE_SMOKE_OUT)
 	PYTHONPATH=src python scripts/check_trace.py $(TRACE_SMOKE_OUT)
+
+check-smoke:
+	PYTHONPATH=src python -m repro check fopt-fast
+	PYTHONPATH=src python -m repro check floodset-rws
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Roll ``benchmarks/metrics.jsonl`` into a committed summary report.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR2.json] [METRICS.jsonl]
+
+Reads the per-span profiler breakdown the benchmark suite emits (one
+JSON object per span: count/total/mean/max/p95, newer runs also carry
+p50) and writes a stable, committed summary keyed by span name with
+per-span ``count``, ``mean_s``, ``p50_s`` and ``p95_s``.  Older
+metrics files without ``p50_s`` are accepted (the field is reported as
+``null``), so the report can be regenerated from any run's output.
+
+Exits 0 on success, 2 on usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_METRICS = Path(__file__).resolve().parent.parent / "benchmarks" / "metrics.jsonl"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+#: Per-span fields copied into the report (missing ones become null).
+FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
+
+
+def load_spans(path: Path) -> dict[str, dict]:
+    spans: dict[str, dict] = {}
+    with open(path, encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}")
+            name = record.get("span")
+            if not isinstance(name, str):
+                raise ValueError(f"{path}:{lineno}: record has no span name")
+            spans[name] = {field: record.get(field) for field in FIELDS}
+    return spans
+
+
+def build_report(spans: dict[str, dict], source: str) -> dict:
+    return {
+        "source": source,
+        "num_spans": len(spans),
+        "spans": {name: spans[name] for name in sorted(spans)},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "metrics",
+        nargs="?",
+        default=str(DEFAULT_METRICS),
+        help="metrics JSONL emitted by the benchmark suite",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the summary (default: BENCH_PR2.json)",
+    )
+    args = parser.parse_args(argv)
+    metrics_path = Path(args.metrics)
+    try:
+        spans = load_spans(metrics_path)
+    except OSError as exc:
+        print(f"cannot read {metrics_path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = build_report(spans, metrics_path.name)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output} ({len(spans)} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

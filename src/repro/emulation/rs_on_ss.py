@@ -296,6 +296,9 @@ def emulate_rs_on_ss(
         for pid, entry in sorted(decisions.items()):
             if entry is not None:
                 observer.decide(pid, entry[1], entry[0])
+        for pid in range(n):
+            if run.final_states[pid].finished:
+                observer.halt(pid, completed[pid])
     return EmulatedRoundTrace(
         n=n,
         num_rounds=rounds,

@@ -240,11 +240,7 @@ def emulate_rws_on_sp(
                 f"correct process {pid} did not finish {rounds} rounds "
                 f"within {max_steps} SP steps"
             )
-    if observer is not None:
-        for pid, entry in sorted(decisions.items()):
-            if entry is not None:
-                observer.decide(pid, entry[1], entry[0])
-    return EmulatedRoundTrace(
+    trace = EmulatedRoundTrace(
         n=n,
         num_rounds=rounds,
         senders_used=senders_used,
@@ -252,6 +248,21 @@ def emulate_rws_on_sp(
         completed_rounds=completed,
         run=run,
     )
+    if observer is not None:
+        for pid, entry in sorted(decisions.items()):
+            if entry is not None:
+                observer.decide(pid, entry[1], entry[0])
+        # Lift the emulation's pending messages into round-tagged
+        # ``msg_withheld`` events so the weak-round-synchrony trace
+        # checker applies to SP runs too (the exact Lemma 4.1 round
+        # bound is checked on the step run by
+        # check_emulated_weak_round_synchrony, which sees crash times).
+        for sender, recipient, round_index in sorted(_pending_triples(trace)):
+            observer.msg_withheld(sender, recipient, round_index)
+        for pid in range(n):
+            if run.final_states[pid].finished:
+                observer.halt(pid, completed[pid])
+    return trace
 
 
 def _pending_triples(trace: EmulatedRoundTrace) -> list[tuple[int, int, int]]:

@@ -22,8 +22,21 @@ substrate that answers those questions without perturbing the engines:
   timers wrapping the engines' hot paths; inert until a profiler is
   installed with :func:`set_profiler`.
 
-See ``docs/observability.md`` for the event taxonomy and a worked
-example mapping a trace back to the paper's run notation.
+On top of the stream sits the *trace oracle* trio:
+
+* :mod:`repro.obs.check` — streaming invariant monitors: P strong
+  completeness/accuracy, RS/RWS (weak) round synchrony, consensus
+  agreement/uniformity/validity, and trace well-formedness, each
+  returning typed :class:`Violation` reports with event indices.
+* :mod:`repro.obs.replay` — reconstruct the
+  :class:`~repro.rounds.scenario.FailureScenario` behind a trace and
+  deterministically re-execute it, asserting event-for-event equality.
+* :mod:`repro.obs.diff` — per-process divergence diffing and the
+  executable form of the paper's indistinguishability relation.
+
+See ``docs/observability.md`` for the event taxonomy, the checker
+catalogue, and a worked example mapping a trace back to the paper's
+run notation.
 """
 
 from repro.obs.events import (
@@ -32,6 +45,32 @@ from repro.obs.events import (
     Event,
     EventLog,
     Observer,
+    events_from_jsonl_lines,
+    logical_clock,
+)
+from repro.obs.check import (
+    CheckReport,
+    ConsensusChecker,
+    DetectorAccuracyChecker,
+    DetectorCompletenessChecker,
+    OrderingChecker,
+    RoundSynchronyChecker,
+    TraceChecker,
+    Violation,
+    WeakRoundSynchronyChecker,
+    check_events,
+    default_checkers,
+    ordering_problems,
+    run_checkers,
+)
+from repro.obs.diff import (
+    Divergence,
+    TraceDiff,
+    diff_traces,
+    first_divergence,
+    indistinguishable,
+    local_view,
+    view_divergence,
 )
 from repro.obs.metrics import (
     Counter,
@@ -46,6 +85,12 @@ from repro.obs.profile import (
     profiled,
     set_profiler,
 )
+from repro.obs.replay import (
+    ReplayReport,
+    infer_model,
+    reconstruct_scenario,
+    replay_events,
+)
 from repro.obs.schema import validate_event_dict, validate_jsonl_lines
 
 __all__ = [
@@ -54,6 +99,32 @@ __all__ = [
     "Observer",
     "EventLog",
     "CompositeObserver",
+    "events_from_jsonl_lines",
+    "logical_clock",
+    "CheckReport",
+    "ConsensusChecker",
+    "DetectorAccuracyChecker",
+    "DetectorCompletenessChecker",
+    "OrderingChecker",
+    "RoundSynchronyChecker",
+    "TraceChecker",
+    "Violation",
+    "WeakRoundSynchronyChecker",
+    "check_events",
+    "default_checkers",
+    "ordering_problems",
+    "run_checkers",
+    "Divergence",
+    "TraceDiff",
+    "diff_traces",
+    "first_divergence",
+    "indistinguishable",
+    "local_view",
+    "view_divergence",
+    "ReplayReport",
+    "infer_model",
+    "reconstruct_scenario",
+    "replay_events",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,227 @@
+"""Trace diffing: divergence points and indistinguishability of runs.
+
+The paper's central proof device (Theorem 3.1) is a *pair of runs a
+process cannot tell apart*: the receiver makes the same observations in
+``r0`` and ``r0'``, hence must decide the same value.  Over event
+traces this becomes executable: project each trace onto what one
+process observes — its deliveries, its detector output, its own
+decisions — and compare the projections, ignoring global timing (a
+process has no access to global time, only to the order of its own
+observations).
+
+Two granularities:
+
+* :func:`first_divergence` / :func:`diff_traces` — full-trace
+  comparison with per-process lanes, reporting the first diverging
+  event and its index in *both* traces.
+* :func:`local_view` / :func:`indistinguishable` — the projection a
+  single process sees, the formal object indistinguishability
+  arguments quantify over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.events import Event
+
+#: What a process can actually observe about a run: messages delivered
+#: to it, its detector module's reports, and its own decisions.  Sends
+#: are network facts, ``crash``/``halt`` are adversary/engine facts, and
+#: ``round_start`` is global — none of them are local observations.
+OBSERVATION_KINDS = frozenset({"msg_delivered", "suspect", "decide"})
+
+#: Fields ignored by default when comparing whole traces.
+DEFAULT_IGNORE = ("ts",)
+
+#: Fields ignored when comparing local views: a process sees neither
+#: wall-clock time nor the global step counter.
+VIEW_IGNORE = ("ts", "time")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point at which two (sub)sequences of events differ.
+
+    Attributes:
+        position: 0-based position within the compared sequences.
+        index_a / index_b: Index of the diverging event in the full
+            original traces (``None`` when that trace's sequence ended).
+        event_a / event_b: The diverging events themselves.
+    """
+
+    position: int
+    index_a: int | None
+    index_b: int | None
+    event_a: Event | None
+    event_b: Event | None
+
+    def describe(self) -> str:
+        def side(index: int | None, event: Event | None) -> str:
+            if event is None:
+                return "<ended>"
+            return f"event {index}: {event.to_json()}"
+
+        return (
+            f"diverge at position {self.position}:\n"
+            f"  a: {side(self.index_a, self.event_a)}\n"
+            f"  b: {side(self.index_b, self.event_b)}"
+        )
+
+
+def _projection(event: Event, ignore: Sequence[str]) -> dict[str, Any]:
+    data = event.to_dict()
+    for name in ignore:
+        data.pop(name, None)
+    return data
+
+
+def first_divergence(
+    a: Sequence[Event],
+    b: Sequence[Event],
+    *,
+    ignore: Sequence[str] = DEFAULT_IGNORE,
+    indices_a: Sequence[int] | None = None,
+    indices_b: Sequence[int] | None = None,
+) -> Divergence | None:
+    """The first position where the two sequences differ, or ``None``.
+
+    ``indices_a``/``indices_b`` map sequence positions back to indices
+    in the full traces (used by :func:`diff_traces` for per-process
+    lanes); by default positions index the sequences themselves.
+    """
+    if indices_a is None:
+        indices_a = range(len(a))
+    if indices_b is None:
+        indices_b = range(len(b))
+    for position in range(max(len(a), len(b))):
+        event_a = a[position] if position < len(a) else None
+        event_b = b[position] if position < len(b) else None
+        if (
+            event_a is not None
+            and event_b is not None
+            and _projection(event_a, ignore) == _projection(event_b, ignore)
+        ):
+            continue
+        return Divergence(
+            position=position,
+            index_a=indices_a[position] if event_a is not None else None,
+            index_b=indices_b[position] if event_b is not None else None,
+            event_a=event_a,
+            event_b=event_b,
+        )
+    return None
+
+
+@dataclass
+class TraceDiff:
+    """Full-trace comparison with per-process lanes."""
+
+    divergence: Divergence | None
+    per_process: dict[int, Divergence | None] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def diverging_processes(self) -> list[int]:
+        return sorted(
+            pid for pid, div in self.per_process.items() if div is not None
+        )
+
+    def describe(self) -> str:
+        if self.identical:
+            return "traces identical"
+        lines = [self.divergence.describe()]
+        diverging = self.diverging_processes()
+        if diverging:
+            lines.append(
+                "per-process lanes diverging: "
+                + ", ".join(f"p{pid}" for pid in diverging)
+            )
+            for pid in diverging:
+                lane = self.per_process[pid]
+                lines.append(f"p{pid}: " + lane.describe())
+        else:
+            lines.append("no single-process lane diverges (global order only)")
+        return "\n".join(lines)
+
+
+def diff_traces(
+    a: Sequence[Event],
+    b: Sequence[Event],
+    *,
+    ignore: Sequence[str] = DEFAULT_IGNORE,
+) -> TraceDiff:
+    """Compare two traces globally and per-process.
+
+    The global comparison finds the first event (in stream order) that
+    differs modulo ``ignore``.  Each per-process lane compares only the
+    events naming that pid in their ``pid`` field, so a divergence can
+    be attributed: two runs that differ globally but agree on every
+    lane differ only in interleaving.
+    """
+    global_div = first_divergence(a, b, ignore=ignore)
+    pids = sorted(
+        {e.pid for e in a if e.pid is not None}
+        | {e.pid for e in b if e.pid is not None}
+    )
+    per_process: dict[int, Divergence | None] = {}
+    for pid in pids:
+        lane_a = [(i, e) for i, e in enumerate(a) if e.pid == pid]
+        lane_b = [(i, e) for i, e in enumerate(b) if e.pid == pid]
+        per_process[pid] = first_divergence(
+            [e for _, e in lane_a],
+            [e for _, e in lane_b],
+            ignore=ignore,
+            indices_a=[i for i, _ in lane_a],
+            indices_b=[i for i, _ in lane_b],
+        )
+    return TraceDiff(divergence=global_div, per_process=per_process)
+
+
+def local_view(
+    events: Sequence[Event],
+    pid: int,
+    *,
+    kinds: frozenset[str] = OBSERVATION_KINDS,
+) -> list[tuple[int, Event]]:
+    """``(index, event)`` pairs process ``pid`` observes, in order."""
+    return [
+        (index, event)
+        for index, event in enumerate(events)
+        if event.pid == pid and event.kind in kinds
+    ]
+
+
+def view_divergence(
+    a: Sequence[Event],
+    b: Sequence[Event],
+    pid: int,
+    *,
+    ignore: Sequence[str] = VIEW_IGNORE,
+) -> Divergence | None:
+    """First divergence in ``pid``'s local observation sequences."""
+    lane_a = local_view(a, pid)
+    lane_b = local_view(b, pid)
+    return first_divergence(
+        [e for _, e in lane_a],
+        [e for _, e in lane_b],
+        ignore=ignore,
+        indices_a=[i for i, _ in lane_a],
+        indices_b=[i for i, _ in lane_b],
+    )
+
+
+def indistinguishable(
+    a: Sequence[Event], b: Sequence[Event], pid: int
+) -> bool:
+    """True iff ``pid`` observes the same sequence in both traces.
+
+    The executable form of the paper's indistinguishability relation:
+    deliveries, suspicions and own decisions match in content and
+    order, with global step times ignored (a process cannot read the
+    global clock — only its local observation order).
+    """
+    return view_divergence(a, b, pid) is None

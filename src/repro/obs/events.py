@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
+from itertools import count
 from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
 
 #: The closed set of event kinds an :class:`EventLog` may contain.
@@ -83,6 +84,58 @@ class Event:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), default=repr, sort_keys=True)
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Event":
+        """Rebuild an event from a decoded JSONL object.
+
+        Inverse of :meth:`to_dict` — unset optional fields come back as
+        ``None``, so ``from_dict(e.to_dict()) == e`` for events whose
+        ``value`` survives a JSON round trip.
+        """
+        return cls(
+            kind=data["kind"],
+            ts=data.get("ts", 0.0),
+            round=data.get("round"),
+            time=data.get("time"),
+            pid=data.get("pid"),
+            peer=data.get("peer"),
+            value=data.get("value"),
+        )
+
+
+def logical_clock() -> Callable[[], float]:
+    """A deterministic timestamp source: 1.0, 2.0, 3.0, ...
+
+    Inject into :class:`EventLog` to make exported traces reproducible
+    byte-for-byte — the clock ``repro trace`` and ``repro replay`` use
+    so that re-executions can be compared against the original export.
+    """
+    counter = count(1)
+    return lambda: float(next(counter))
+
+
+def events_from_jsonl_lines(lines: Iterable[str]) -> list[Event]:
+    """Parse a JSONL trace back into :class:`Event` objects.
+
+    Blank lines are skipped.  Raises :class:`ValueError` naming the line
+    number on malformed JSON or non-object lines; schema-level problems
+    (unknown kinds, missing fields) are the business of
+    :func:`repro.obs.schema.validate_jsonl_lines`, run it first.
+    """
+    events: list[Event] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {number}: not valid JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"line {number}: event must be a JSON object")
+        events.append(Event.from_dict(data))
+    return events
+
 
 class Observer:
     """The event protocol: every hook is a no-op by default.
@@ -127,8 +180,17 @@ class Observer:
         *,
         round_index: int | None = None,
         time: int | None = None,
+        applies_transition: bool | None = None,
     ) -> None:
-        """Process ``pid`` crashed."""
+        """Process ``pid`` crashed.
+
+        For round-model crashes ``applies_transition`` records whether
+        the process completed the round's transition before dying (the
+        decide-then-crash move behind uniform agreement); step-model
+        crashes leave it ``None``.  Recording it makes a trace a
+        complete adversary description, which is what lets
+        :mod:`repro.obs.replay` reconstruct the scenario exactly.
+        """
 
     def suspect(
         self,
@@ -238,6 +300,7 @@ class EventLog(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        applies_transition: bool | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -246,6 +309,7 @@ class EventLog(Observer):
                 round=round_index,
                 time=time,
                 pid=pid,
+                value=applies_transition,
             )
         )
 
@@ -318,16 +382,31 @@ class EventLog(Observer):
 
 
 class CompositeObserver(Observer):
-    """Fan one event stream out to several observers (log + metrics)."""
+    """Fan one event stream out to several observers (log + metrics).
 
-    __slots__ = ("observers",)
+    Instrumentation must never take the run down, and one broken
+    observer must not starve its siblings: every hook dispatch is
+    isolated, exceptions are collected in :attr:`errors` as
+    ``(observer, hook name, exception)`` triples, and the remaining
+    observers still receive the event.  Callers that want loud failures
+    can assert ``not composite.errors`` after the run.
+    """
+
+    __slots__ = ("observers", "errors")
 
     def __init__(self, *observers: Observer) -> None:
         self.observers = tuple(observers)
+        self.errors: list[tuple[Observer, str, BaseException]] = []
+
+    def _fanout(self, hook: str, *args: Any, **kwargs: Any) -> None:
+        for obs in self.observers:
+            try:
+                getattr(obs, hook)(*args, **kwargs)
+            except Exception as exc:
+                self.errors.append((obs, hook, exc))
 
     def round_start(self, round_index: int, alive: Sequence[int]) -> None:
-        for obs in self.observers:
-            obs.round_start(round_index, alive)
+        self._fanout("round_start", round_index, alive)
 
     def msg_sent(
         self,
@@ -337,14 +416,14 @@ class CompositeObserver(Observer):
         round_index: int | None = None,
         time: int | None = None,
     ) -> None:
-        for obs in self.observers:
-            obs.msg_sent(sender, recipient, round_index=round_index, time=time)
+        self._fanout(
+            "msg_sent", sender, recipient, round_index=round_index, time=time
+        )
 
     def msg_withheld(
         self, sender: int, recipient: int, round_index: int
     ) -> None:
-        for obs in self.observers:
-            obs.msg_withheld(sender, recipient, round_index)
+        self._fanout("msg_withheld", sender, recipient, round_index)
 
     def msg_delivered(
         self,
@@ -354,10 +433,13 @@ class CompositeObserver(Observer):
         round_index: int | None = None,
         time: int | None = None,
     ) -> None:
-        for obs in self.observers:
-            obs.msg_delivered(
-                sender, recipient, round_index=round_index, time=time
-            )
+        self._fanout(
+            "msg_delivered",
+            sender,
+            recipient,
+            round_index=round_index,
+            time=time,
+        )
 
     def crash(
         self,
@@ -365,9 +447,15 @@ class CompositeObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        applies_transition: bool | None = None,
     ) -> None:
-        for obs in self.observers:
-            obs.crash(pid, round_index=round_index, time=time)
+        self._fanout(
+            "crash",
+            pid,
+            round_index=round_index,
+            time=time,
+            applies_transition=applies_transition,
+        )
 
     def suspect(
         self,
@@ -377,17 +465,13 @@ class CompositeObserver(Observer):
         time: int | None = None,
         delay: int | None = None,
     ) -> None:
-        for obs in self.observers:
-            obs.suspect(pid, suspected, time=time, delay=delay)
+        self._fanout("suspect", pid, suspected, time=time, delay=delay)
 
     def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
-        for obs in self.observers:
-            obs.decide(pid, value, round_index)
+        self._fanout("decide", pid, value, round_index)
 
     def halt(self, pid: int, round_index: int | None = None) -> None:
-        for obs in self.observers:
-            obs.halt(pid, round_index)
+        self._fanout("halt", pid, round_index)
 
     def scenario_rejected(self, problems: Sequence[str]) -> None:
-        for obs in self.observers:
-            obs.scenario_rejected(problems)
+        self._fanout("scenario_rejected", problems)

@@ -203,6 +203,7 @@ class MetricsObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        applies_transition: bool | None = None,
     ) -> None:
         self.registry.counter("crashes").inc()
 

@@ -73,7 +73,7 @@ class Profiler:
         self.spans.setdefault(name, []).append(seconds)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
-        """Per-span count/total/mean/max/p95, JSON-ready."""
+        """Per-span count/total/mean/p50/max/p95, JSON-ready."""
         out: dict[str, dict[str, float]] = {}
         for name, samples in sorted(self.spans.items()):
             total = sum(samples)
@@ -81,6 +81,7 @@ class Profiler:
                 "count": len(samples),
                 "total_s": total,
                 "mean_s": total / len(samples),
+                "p50_s": percentile(samples, 50),
                 "max_s": max(samples),
                 "p95_s": percentile(samples, 95),
             }

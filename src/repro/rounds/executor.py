@@ -250,7 +250,11 @@ def _execute_round(
         if crash is not None and crash.round == round_index:
             crashed_now.add(pid)
             if observer is not None:
-                observer.crash(pid, round_index=round_index)
+                observer.crash(
+                    pid,
+                    round_index=round_index,
+                    applies_transition=crash.applies_transition,
+                )
         if not scenario.alive_at_end(pid, round_index):
             continue
         if not scenario.alive_at_start(pid, round_index):

@@ -19,8 +19,10 @@ mechanised as a run-quadruple refuter in
 from repro.sdd.spec import SDDVerdict, check_sdd_run, sdd_decision
 from repro.sdd.ss_algorithm import SDDSender, SDDReceiverSS, solve_sdd_ss
 from repro.sdd.impossibility import (
+    QUADRUPLE,
     SDDRefutation,
     refute_sdd_candidate,
+    sdd_quadruple_traces,
     TimeoutReceiverSP,
     SuspicionReceiverSP,
     PatientReceiverSP,
@@ -34,8 +36,10 @@ __all__ = [
     "SDDSender",
     "SDDReceiverSS",
     "solve_sdd_ss",
+    "QUADRUPLE",
     "SDDRefutation",
     "refute_sdd_candidate",
+    "sdd_quadruple_traces",
     "TimeoutReceiverSP",
     "SuspicionReceiverSP",
     "PatientReceiverSP",

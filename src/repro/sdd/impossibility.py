@@ -33,6 +33,7 @@ from typing import Any, Callable
 
 from repro.failures.history import ConstantHistory
 from repro.failures.pattern import FailurePattern
+from repro.obs.events import EventLog, logical_clock
 from repro.sdd.spec import RECEIVER, SENDER, check_sdd_run, sdd_decision
 from repro.sdd.ss_algorithm import ReceiverState, SDDSender
 from repro.simulation.automaton import StepAutomaton, StepContext, StepOutcome
@@ -205,11 +206,21 @@ class SDDRefutation:
         return "\n".join(lines)
 
 
+#: The four runs of Theorem 3.1 as (sender value, sender steps) pairs.
+QUADRUPLE = {
+    "r0": (0, 0),
+    "r0'": (0, 1),
+    "r1": (1, 0),
+    "r1'": (1, 1),
+}
+
+
 def _run_quadruple_member(
     receiver: StepAutomaton,
     sender_value: Any,
     sender_steps: int,
     horizon: int,
+    observer: Any = None,
 ) -> Run:
     """Execute one of the four runs.
 
@@ -231,6 +242,7 @@ def _run_quadruple_member(
         pattern,
         ScriptedScheduler(script),
         history=ConstantHistory({SENDER}),
+        observer=observer,
     )
 
     def receiver_decided(states) -> bool:
@@ -255,15 +267,9 @@ def refute_sdd_candidate(
     violates the SDD specification — which Theorem 3.1 guarantees for
     every candidate.
     """
-    runs = {
-        "r0": (0, 0),
-        "r0'": (0, 1),
-        "r1": (1, 0),
-        "r1'": (1, 1),
-    }
     decisions: dict[str, Any] = {}
     violations: dict[str, list[str]] = {}
-    for run_name, (value, sender_steps) in runs.items():
+    for run_name, (value, sender_steps) in QUADRUPLE.items():
         run = _run_quadruple_member(factory(), value, sender_steps, horizon)
         verdict = check_sdd_run(run, value)
         decisions[run_name] = sdd_decision(run)
@@ -275,3 +281,32 @@ def refute_sdd_candidate(
         violations=violations,
         refuted=refuted,
     )
+
+
+def sdd_quadruple_traces(
+    factory: Callable[[], StepAutomaton],
+    *,
+    horizon: int = 200,
+) -> dict[str, EventLog]:
+    """Execute the Theorem 3.1 quadruple under event logging.
+
+    Returns one :class:`EventLog` per run name (``r0``, ``r0'``,
+    ``r1``, ``r1'``), each recorded with a deterministic logical clock
+    and carrying a lifted ``decide`` event when the receiver decides.
+    The receiver's *local views* (see :func:`repro.obs.diff.local_view`)
+    of ``r0`` vs ``r0'`` — and of ``r1`` vs ``r1'`` — are
+    indistinguishable, which is exactly the proof's pivot: a
+    deterministic receiver must decide the same value in both members
+    of each pair.
+    """
+    traces: dict[str, EventLog] = {}
+    for run_name, (value, sender_steps) in QUADRUPLE.items():
+        log = EventLog(clock=logical_clock())
+        run = _run_quadruple_member(
+            factory(), value, sender_steps, horizon, observer=log
+        )
+        decision = sdd_decision(run)
+        if decision is not None:
+            log.decide(RECEIVER, decision)
+        traces[run_name] = log
+    return traces

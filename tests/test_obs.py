@@ -383,6 +383,114 @@ class TestStatsHelpers:
             percentile([1], 101)
 
 
+class _ExplodingObserver:
+    """An observer whose every hook raises."""
+
+    def __getattr__(self, name):
+        def boom(*args, **kwargs):
+            raise RuntimeError(f"observer hook {name} exploded")
+
+        return boom
+
+
+class TestCompositeObserverIsolation:
+    """One failing observer must not poison its siblings or the run."""
+
+    def test_failing_observer_does_not_poison_siblings(self):
+        log = EventLog(clock=_counter_clock())
+        bad = _ExplodingObserver()
+        composite = CompositeObserver(bad, log)
+        run = run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            t=1,
+            max_rounds=4,
+            observer=composite,
+        )
+        # the run completed and the healthy sibling saw the full stream
+        assert run.decisions
+        reference = EventLog(clock=_counter_clock())
+        run_rws(
+            FloodSet(),
+            adversarial_split(3),
+            floodset_rws_violation(3),
+            t=1,
+            max_rounds=4,
+            observer=reference,
+        )
+        assert [e.to_dict() for e in log] == [
+            e.to_dict() for e in reference
+        ]
+
+    def test_errors_are_recorded_with_hook_and_exception(self):
+        bad = _ExplodingObserver()
+        composite = CompositeObserver(bad, EventLog())
+        composite.round_start(1, [0, 1, 2])
+        composite.crash(0, round_index=1)
+        assert len(composite.errors) == 2
+        observer, hook, exc = composite.errors[0]
+        assert observer is bad
+        assert hook == "round_start"
+        assert isinstance(exc, RuntimeError)
+        assert composite.errors[1][1] == "crash"
+
+    def test_order_of_failing_observer_is_irrelevant(self):
+        for observers in (
+            (_ExplodingObserver(), EventLog()),
+            (EventLog(), _ExplodingObserver()),
+        ):
+            composite = CompositeObserver(*observers)
+            composite.decide(0, 1, 2)
+            log = next(o for o in observers if isinstance(o, EventLog))
+            assert log.kinds() == ["decide"]
+            assert len(composite.errors) == 1
+
+
+class TestProfilerFailurePaths:
+    def test_span_closed_when_wrapped_engine_raises(self):
+        """An engine that raises mid-execution still records its span —
+        the profiler never leaks an open timer."""
+
+        class ExplodingFloodSet(FloodSet):
+            def transition(self, pid, state, received):
+                raise RuntimeError("engine exploded mid-round")
+
+        profiler = Profiler()
+        set_profiler(profiler)
+        try:
+            with pytest.raises(RuntimeError, match="mid-round"):
+                run_rs(
+                    ExplodingFloodSet(),
+                    [0, 1, 1],
+                    FailureScenario.failure_free(3),
+                    t=1,
+                )
+        finally:
+            set_profiler(None)
+        snap = profiler.snapshot()
+        assert snap["rounds.execute"]["count"] == 1
+
+    def test_span_context_reraises(self):
+        profiler = Profiler()
+        set_profiler(profiler)
+        try:
+            with pytest.raises(ValueError, match="inner"):
+                with profiled("failing.phase"):
+                    raise ValueError("inner")
+        finally:
+            set_profiler(None)
+        assert profiler.snapshot()["failing.phase"]["count"] == 1
+
+    def test_snapshot_includes_p50(self):
+        profiler = Profiler()
+        for sample in (0.1, 0.2, 0.3):
+            profiler.record("x", sample)
+        snap = profiler.snapshot()["x"]
+        assert snap["p50_s"] == pytest.approx(0.2)
+        assert snap["p95_s"] >= snap["p50_s"]
+
+
 class TestEmulationObservers:
     def test_rs_on_ss_emits_kernel_events_and_decides(self):
         import random

@@ -122,6 +122,162 @@ class TestMetricsCommand:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestCheckCommand:
+    def test_clean_rs_scenario_passes(self, capsys):
+        assert main(["check", "fopt-fast"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+
+    def test_documented_disagreement_is_reproduced(self, capsys):
+        assert main(["check", "floodset-rws"]) == 0
+        out = capsys.readouterr().out
+        assert "consensus" in out
+        assert "disagreement is reproduced" in out
+
+    def test_all_builtin_scenarios_pass(self):
+        from repro.cli.main import SCENARIOS
+
+        for name in SCENARIOS:
+            assert main(["check", name]) == 0, name
+
+    def test_jsonl_mode_flags_seeded_violation(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["trace", "fopt-fast", "--jsonl", str(trace)]) == 0
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        seeded = lines[:3] + [
+            '{"kind": "suspect", "pid": 1, "peer": 0, "round": 1, "ts": 3.5}'
+        ] + lines[3:]
+        bad = tmp_path / "seeded.jsonl"
+        bad.write_text("\n".join(seeded) + "\n")
+        assert main(["check", "--jsonl", str(bad), "--model", "RS"]) == 1
+        out = capsys.readouterr().out
+        assert "event 3" in out
+        assert "detector.accuracy" in out
+
+    def test_jsonl_mode_passes_clean_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["trace", "fopt-fast", "--jsonl", str(trace)]) == 0
+        assert main(["check", "--jsonl", str(trace), "--model", "RS"]) == 0
+
+    def test_missing_arguments_exit_2(self, capsys):
+        assert main(["check"]) == 2
+        assert "scenario name or --jsonl" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["check", "nope"]) == 2
+
+    def test_unreadable_file_exits_2(self, capsys, tmp_path):
+        assert main(["check", "--jsonl", str(tmp_path / "missing.jsonl")]) == 2
+
+
+class TestReplayCommand:
+    def test_rs_export_replays_byte_for_byte(self, capsys, tmp_path):
+        trace = tmp_path / "rs.jsonl"
+        assert main(["trace", "fopt-fast", "--jsonl", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["replay", "fopt-fast", str(trace)]) == 0
+        assert "byte-for-byte" in capsys.readouterr().out
+
+    def test_rws_export_replays_byte_for_byte(self, capsys, tmp_path):
+        trace = tmp_path / "rws.jsonl"
+        assert main(["trace", "floodset-rws", "--jsonl", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["replay", "floodset-rws", str(trace)]) == 0
+        assert "byte-for-byte" in capsys.readouterr().out
+
+    def test_wall_clock_export_still_matches_modulo_ts(self, capsys, tmp_path):
+        trace = tmp_path / "wall.jsonl"
+        assert main(
+            ["trace", "floodset-rws", "--wall-ts", "--jsonl", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", "floodset-rws", str(trace)]) == 0
+        assert "modulo timestamps" in capsys.readouterr().out
+
+    def test_wrong_scenario_diverges_nonzero(self, capsys, tmp_path):
+        trace = tmp_path / "rws.jsonl"
+        assert main(["trace", "floodset-rws", "--jsonl", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["replay", "a1-rws", str(trace)]) == 1
+        assert "divergence" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["replay", "fopt-fast", str(tmp_path / "missing.jsonl")]
+        ) == 2
+
+
+class TestDiffCommand:
+    def _export(self, scenario, path):
+        assert main(["trace", scenario, "--jsonl", str(path)]) == 0
+
+    def test_identical_traces(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        self._export("floodset-rws", a)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_traces_diverge_nonzero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._export("fopt-fast", a)
+        self._export("floodset-rws", b)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "diverge at position" in capsys.readouterr().out
+
+    def test_pid_lane_comparison(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        self._export("floodset-rws", a)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a), "--pid", "1"]) == 0
+        assert "indistinguishable" in capsys.readouterr().out
+
+    def test_sdd_quadruple_demo(self, capsys):
+        assert main(["diff", "--sdd", "suspicion"]) == 0
+        out = capsys.readouterr().out
+        assert "r0 ~ r0'" in out
+        assert "r1 ~ r1'" in out
+        assert "contradiction" in out
+
+    def test_sdd_unknown_candidate_exits_2(self, capsys):
+        assert main(["diff", "--sdd", "nope"]) == 2
+        assert "unknown SDD candidate" in capsys.readouterr().err
+
+    def test_missing_operands_exit_2(self, capsys):
+        assert main(["diff"]) == 2
+
+
+class TestCheckTraceScriptOrdering:
+    """scripts/check_trace.py now layers ordering atop the schema."""
+
+    def test_ordering_violation_detected(self, tmp_path):
+        bad = tmp_path / "bad_order.jsonl"
+        bad.write_text(
+            '{"kind": "round_start", "round": 1, "ts": 1.0, "value": [0, 1]}\n'
+            '{"kind": "round_start", "round": 3, "ts": 2.0, "value": [0, 1]}\n'
+        )
+        result = _shell(sys.executable, "scripts/check_trace.py", str(bad))
+        assert result.returncode == 1
+        assert "increase by exactly 1" in result.stderr
+
+    def test_schema_only_skips_ordering(self, tmp_path):
+        bad = tmp_path / "bad_order.jsonl"
+        bad.write_text(
+            '{"kind": "round_start", "round": 1, "ts": 1.0, "value": [0, 1]}\n'
+            '{"kind": "round_start", "round": 3, "ts": 2.0, "value": [0, 1]}\n'
+        )
+        result = _shell(
+            sys.executable,
+            "scripts/check_trace.py",
+            "--schema-only",
+            str(bad),
+        )
+        assert result.returncode == 0
+        assert "OK (schema)" in result.stdout
+
+
 class TestShowErrorPath:
     def test_show_unknown_scenario_is_clean_error(self, capsys):
         """No traceback, nonzero exit, helpful message."""
