@@ -1,13 +1,13 @@
-.PHONY: install test test-fast bench bench-report examples experiments report trace-smoke check-smoke clean
+.PHONY: install test test-fast bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 test-fast:
-	pytest tests/ -m "not slow"
+	PYTHONPATH=src pytest tests/ -m "not slow"
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -36,6 +36,18 @@ trace-smoke:
 check-smoke:
 	PYTHONPATH=src python -m repro check fopt-fast
 	PYTHONPATH=src python -m repro check floodset-rws
+
+SWEEP_SMOKE_CACHE ?= /tmp/repro_sweep_smoke_cache
+
+# Run a small checked sweep twice against a fresh cache: the first run
+# executes every cell, the second must serve all of them from the
+# cache ("executed 0").
+sweep-smoke:
+	rm -rf $(SWEEP_SMOKE_CACHE)
+	PYTHONPATH=src python -m repro sweep oracle-sweep --count 2 --check \
+		--cache-dir $(SWEEP_SMOKE_CACHE)
+	PYTHONPATH=src python -m repro sweep oracle-sweep --count 2 --check \
+		--cache-dir $(SWEEP_SMOKE_CACHE) | tee /dev/stderr | grep -q "executed 0,"
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,37 @@
+"""Sweep runtime — the unified runner over the oracle-sweep space.
+
+Times the cold serial sweep, a pool-backed sweep, and the cache-warm
+re-run (which must execute zero scenarios).  The profiler breakdown
+(``runtime.sweep``, ``runtime.sweep.execute``, ``runtime.sweep.check``)
+lands in ``benchmarks/metrics.jsonl`` alongside the engine spans.
+"""
+
+from repro.runtime import SweepRunner, oracle_sweep_space
+
+
+def bench_sweep_serial_cold(once):
+    space = oracle_sweep_space(count=5)
+    result = once(SweepRunner(jobs=1).run, space)
+    assert result.executed == result.total
+    assert result.cached == 0
+
+
+def bench_sweep_parallel(once):
+    space = oracle_sweep_space(count=5)
+    result = once(SweepRunner(jobs=2).run, space)
+    assert result.executed == result.total
+
+
+def bench_sweep_cache_warm(once, tmp_path):
+    space = oracle_sweep_space(count=5)
+    cache_dir = str(tmp_path / "sweep-cache")
+    SweepRunner(jobs=1, cache=cache_dir).run(space)  # populate
+    result = once(SweepRunner(jobs=1, cache=cache_dir).run, space)
+    assert result.executed == 0
+    assert result.cached == result.total
+
+
+def bench_sweep_checked(once):
+    space = oracle_sweep_space(count=5)
+    result = once(SweepRunner(jobs=1, check=True).run, space)
+    assert result.checks_ok, result.describe()

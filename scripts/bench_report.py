@@ -3,7 +3,7 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR2.json] [METRICS.jsonl]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR3.json] [METRICS.jsonl]
 
 Reads the per-span profiler breakdown the benchmark suite emits (one
 JSON object per span: count/total/mean/max/p95, newer runs also carry
@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_METRICS = Path(__file__).resolve().parent.parent / "benchmarks" / "metrics.jsonl"
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 
 #: Per-span fields copied into the report (missing ones become null).
 FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
@@ -48,11 +48,21 @@ def load_spans(path: Path) -> dict[str, dict]:
 
 
 def build_report(spans: dict[str, dict], source: str) -> dict:
-    return {
+    report = {
         "source": source,
         "num_spans": len(spans),
         "spans": {name: spans[name] for name in sorted(spans)},
     }
+    # Surface the unified-runtime breakdown as its own section so sweep
+    # regressions stand out without digging through the flat span map.
+    sweep = {
+        name: spans[name]
+        for name in sorted(spans)
+        if name.startswith("runtime.sweep")
+    }
+    if sweep:
+        report["sweep_timings"] = sweep
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         "-o",
         "--output",
         default=str(DEFAULT_OUTPUT),
-        help="where to write the summary (default: BENCH_PR2.json)",
+        help="where to write the summary (default: BENCH_PR3.json)",
     )
     args = parser.parse_args(argv)
     metrics_path = Path(args.metrics)

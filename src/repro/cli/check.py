@@ -1,0 +1,230 @@
+"""``repro check``, ``repro replay`` and ``repro diff``: the trace
+oracle, deterministic replay, and divergence diffing."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import (
+    EXPECTED_DISAGREEMENT,
+    NON_CONSENSUS_VALUES,
+    SCENARIO_ALIASES,
+    SCENARIOS,
+    load_trace,
+    resolve_scenario,
+    run_scenario_trace,
+    unknown_scenario,
+)
+from repro.obs import (
+    check_events,
+    diff_traces,
+    replay_events,
+    view_divergence,
+)
+from repro.sdd import SP_CANDIDATE_FACTORIES, sdd_quadruple_traces
+from repro.sdd.spec import RECEIVER
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.jsonl:
+        events = load_trace(args.jsonl)
+        if events is None:
+            return 2
+        report = check_events(events, model=args.model)
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    if args.scenario is None:
+        print(
+            "error: provide a scenario name or --jsonl PATH",
+            file=sys.stderr,
+        )
+        return 2
+    entry = resolve_scenario(args.scenario)
+    if entry is None:
+        return unknown_scenario(args.scenario)
+    canonical = SCENARIO_ALIASES.get(args.scenario, args.scenario)
+    blurb, build = entry
+    _, values, _, model, log = run_scenario_trace(build)
+    initial_values = None if canonical in NON_CONSENSUS_VALUES else values
+    report = check_events(
+        log.events, model=model.value, initial_values=initial_values
+    )
+    print(f"{args.scenario}: {blurb}")
+    print(report.describe())
+    consensus_errors = [
+        v for v in report.errors if v.checker == "consensus"
+    ]
+    model_errors = [v for v in report.errors if v.checker != "consensus"]
+    if model_errors:
+        print("FAIL: model invariants violated", file=sys.stderr)
+        return 1
+    if canonical in EXPECTED_DISAGREEMENT:
+        if not consensus_errors:
+            print(
+                "FAIL: expected the documented disagreement but the trace "
+                "is clean",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "ok: model invariants hold; the documented disagreement is "
+            f"reproduced ({len(consensus_errors)} consensus violation(s))"
+        )
+        return 0
+    if consensus_errors:
+        print("FAIL: consensus violated", file=sys.stderr)
+        return 1
+    print("ok: all invariants hold")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    entry = resolve_scenario(args.scenario)
+    if entry is None:
+        return unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, _, model = build()
+    events = load_trace(args.trace)
+    if events is None:
+        return 2
+    try:
+        report = replay_events(
+            algorithm, values, events, t=1, model=model.value
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.scenario}: {blurb}")
+    print(report.describe())
+    return 0 if report.matches else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    if args.sdd:
+        return _diff_sdd(args.sdd)
+    if not args.trace_a or not args.trace_b:
+        print(
+            "error: provide two trace files (or --sdd CANDIDATE)",
+            file=sys.stderr,
+        )
+        return 2
+    a = load_trace(args.trace_a)
+    b = load_trace(args.trace_b)
+    if a is None or b is None:
+        return 2
+    ignore = tuple(
+        name.strip() for name in args.ignore.split(",") if name.strip()
+    )
+    if args.pid is not None:
+        divergence = view_divergence(a, b, args.pid)
+        if divergence is None:
+            print(
+                f"p{args.pid}'s local views are indistinguishable "
+                "(deliveries, suspicions and decisions match in order)"
+            )
+            return 0
+        print(f"p{args.pid}: " + divergence.describe())
+        return 1
+    diff = diff_traces(a, b, ignore=ignore)
+    print(diff.describe())
+    return 0 if diff.identical else 1
+
+
+def _diff_sdd(candidate: str) -> int:
+    """The Theorem 3.1 demo: r0 ~ r0' and r1 ~ r1' for the receiver."""
+    factory = SP_CANDIDATE_FACTORIES.get(candidate)
+    if factory is None:
+        print(
+            f"error: unknown SDD candidate {candidate!r}; choose from "
+            f"{sorted(SP_CANDIDATE_FACTORIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    traces = sdd_quadruple_traces(factory)
+    print(
+        f"Theorem 3.1 quadruple for candidate {candidate!r} "
+        "(receiver's local views):"
+    )
+    all_indistinguishable = True
+    for left, right in (("r0", "r0'"), ("r1", "r1'")):
+        divergence = view_divergence(
+            traces[left].events, traces[right].events, RECEIVER
+        )
+        if divergence is None:
+            print(f"  {left} ~ {right}: indistinguishable to the receiver")
+        else:
+            all_indistinguishable = False
+            print(f"  {left} vs {right}: " + divergence.describe())
+    if all_indistinguishable:
+        print(
+            "  => the receiver must decide identically within each pair; "
+            "validity forces 0 in r0' and 1 in r1' — contradiction"
+        )
+    return 0 if all_indistinguishable else 1
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_check = sub.add_parser(
+        "check", help="run the trace oracle over a scenario or JSONL file"
+    )
+    p_check.add_argument(
+        "scenario",
+        nargs="?",
+        help=f"one of {sorted(SCENARIOS)} (or use --jsonl)",
+    )
+    p_check.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="check an exported trace file instead of a live scenario",
+    )
+    p_check.add_argument(
+        "--model",
+        choices=["RS", "RWS"],
+        help=(
+            "synchrony checker for --jsonl traces (default: weak round "
+            "synchrony, sound for both models)"
+        ),
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute an exported trace and assert event equality",
+    )
+    p_replay.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
+    p_replay.add_argument(
+        "trace", metavar="TRACE.jsonl", help="trace exported by `repro trace`"
+    )
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_diff = sub.add_parser(
+        "diff", help="divergence diff of two traces (Theorem 3.1 lens)"
+    )
+    p_diff.add_argument(
+        "trace_a", nargs="?", metavar="A.jsonl", help="first trace"
+    )
+    p_diff.add_argument(
+        "trace_b", nargs="?", metavar="B.jsonl", help="second trace"
+    )
+    p_diff.add_argument(
+        "--pid",
+        type=int,
+        help="compare only this process's local view (indistinguishability)",
+    )
+    p_diff.add_argument(
+        "--ignore",
+        default="ts",
+        help="comma-separated event fields to ignore (default: ts)",
+    )
+    p_diff.add_argument(
+        "--sdd",
+        metavar="CANDIDATE",
+        help=(
+            "run the Theorem 3.1 quadruple for an SP candidate and diff "
+            f"the receiver's views; one of {sorted(SP_CANDIDATE_FACTORIES)}"
+        ),
+    )
+    p_diff.set_defaults(func=_cmd_diff)

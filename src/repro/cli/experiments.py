@@ -1,0 +1,162 @@
+"""Subcommands over the experiment registry and the analysis tables:
+``experiments``, ``report``, ``summary``, ``sdd``, ``commit``,
+``latency``."""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis import format_table, latency_profile, latency_summary_table
+from repro.cli.common import ALGORITHMS
+from repro.commit import compare_commit_rates
+from repro.consensus import (
+    A1,
+    COptFloodSet,
+    COptFloodSetWS,
+    FloodSet,
+    FloodSetWS,
+    FOptFloodSet,
+    FOptFloodSetWS,
+)
+from repro.core import (
+    run_all_experiments,
+    run_all_extensions,
+    run_experiment,
+    run_extension,
+    write_report,
+)
+from repro.failures import FailurePattern
+from repro.rounds import RoundModel
+from repro.sdd import SP_CANDIDATE_FACTORIES, refute_sdd_candidate, solve_sdd_ss
+from repro.trace import describe_run, step_diagram
+
+
+def _run_by_id(exp_id: str, quick: bool):
+    if exp_id.upper().startswith("X"):
+        return run_extension(exp_id, quick)
+    return run_experiment(exp_id, quick)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    quick = not args.full
+    if args.ids:
+        results = [_run_by_id(exp_id, quick) for exp_id in args.ids]
+    else:
+        results = run_all_experiments(quick, jobs=args.jobs)
+        if args.extensions:
+            results.extend(run_all_extensions(quick))
+    failures = 0
+    for result in results:
+        print(result.describe())
+        print()
+        failures += 0 if result.ok else 1
+    print(f"{len(results) - failures}/{len(results)} experiments passed")
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    passed = write_report(args.output, quick=not args.full)
+    print(f"wrote {args.output} ({passed} experiments passing)")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    algorithms = [
+        FloodSet(),
+        FloodSetWS(),
+        COptFloodSet(),
+        COptFloodSetWS(),
+        FOptFloodSet(),
+        FOptFloodSetWS(),
+        A1(),
+    ]
+    rows = latency_summary_table(algorithms, n=args.n, t=1)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_sdd(args: argparse.Namespace) -> int:
+    print("SS solves SDD (value 1, sender crashes at time 2):")
+    pattern = FailurePattern.with_crashes(2, {0: 2})
+    run = solve_sdd_ss(1, pattern, phi=1, delta=1, rng=random.Random(args.seed))
+    print(" ", describe_run(run))
+    print(step_diagram(run, max_rows=12))
+    print()
+    print("Theorem 3.1 refutations in SP:")
+    for name, factory in SP_CANDIDATE_FACTORIES.items():
+        print(refute_sdd_candidate(factory, name).describe())
+    return 0
+
+
+def _cmd_commit(args: argparse.Namespace) -> int:
+    for name, report in compare_commit_rates(n=args.n, t=1).items():
+        print(f"{name}: {report.describe()}")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    factory = ALGORITHMS.get(args.algorithm)
+    if factory is None:
+        print(
+            f"unknown algorithm {args.algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}",
+            file=sys.stderr,
+        )
+        return 2
+    algorithm = factory()
+    for model in (RoundModel.RS, RoundModel.RWS):
+        try:
+            profile = latency_profile(algorithm, args.n, 1, model)
+        except Exception as exc:  # unsafe pairs raise on non-termination
+            print(f"{model.value}: not measurable ({exc})")
+            continue
+        print(profile.describe())
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_exp = sub.add_parser("experiments", help="run the E1-E15 suite")
+    p_exp.add_argument("--ids", nargs="*", help="experiment ids (default all)")
+    p_exp.add_argument(
+        "--full", action="store_true", help="larger sweeps (slower)"
+    )
+    p_exp.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run the X1-X4 extension experiments",
+    )
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the full suite (default: 1, serial)",
+    )
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from live runs"
+    )
+    p_report.add_argument("--output", default="EXPERIMENTS.md")
+    p_report.add_argument("--full", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_summary = sub.add_parser("summary", help="headline latency table")
+    p_summary.add_argument("--n", type=int, default=3)
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_sdd = sub.add_parser("sdd", help="the SDD story")
+    p_sdd.add_argument("--seed", type=int, default=7)
+    p_sdd.set_defaults(func=_cmd_sdd)
+
+    p_commit = sub.add_parser("commit", help="commit-rate comparison")
+    p_commit.add_argument("--n", type=int, default=3)
+    p_commit.set_defaults(func=_cmd_commit)
+
+    p_lat = sub.add_parser("latency", help="latency profile of an algorithm")
+    p_lat.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p_lat.add_argument("--n", type=int, default=3)
+    p_lat.set_defaults(func=_cmd_latency)

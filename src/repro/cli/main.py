@@ -1,493 +1,38 @@
 """The ``repro`` command: run experiments and inspect runs from a shell.
 
-Subcommands:
+This module is the thin dispatcher; each subcommand lives in its own
+module under :mod:`repro.cli` and registers itself via ``register``:
 
-* ``repro experiments [--ids E1 E9] [--full]`` — run the paper's
-  experiment suite and print claim-vs-measured reports.
-* ``repro summary`` — print the headline RS-vs-RWS latency table (E15).
-* ``repro sdd`` — the SDD story: the SS algorithm at work plus the
-  Theorem 3.1 refutations.
-* ``repro commit`` — commit-rate comparison (E3).
-* ``repro latency ALGORITHM`` — latency profile of one algorithm in
-  both round models.
-* ``repro show SCENARIO`` — execute a named scenario and print the
-  round tableau.
-* ``repro trace SCENARIO [--jsonl PATH]`` — execute a named scenario
-  under an event-log observer and export the structured trace.
-* ``repro metrics [SCENARIO]`` — execute a named scenario under a
-  metrics observer and print the counter/histogram dump.
-* ``repro check SCENARIO | --jsonl PATH`` — run the trace oracle
-  (detector, synchrony, consensus and ordering invariants) over a
-  scenario's live trace or an exported JSONL file.
-* ``repro replay SCENARIO TRACE.jsonl`` — reconstruct the failure
-  scenario behind an exported trace and re-execute it, asserting
-  event-for-event equality.
-* ``repro diff A.jsonl B.jsonl | --sdd CANDIDATE`` — divergence diff
-  of two traces, or the Theorem 3.1 indistinguishability demo.
+* :mod:`repro.cli.experiments` — ``experiments``, ``report``,
+  ``summary``, ``sdd``, ``commit``, ``latency``.
+* :mod:`repro.cli.show` — ``show SCENARIO`` (round tableau / DOT).
+* :mod:`repro.cli.trace` — ``trace`` (JSONL export) and ``metrics``.
+* :mod:`repro.cli.check` — ``check`` (trace oracle), ``replay``
+  (deterministic re-execution), ``diff`` (divergence / Theorem 3.1).
+* :mod:`repro.cli.sweep` — ``sweep SPACE`` (parallel, cached, checked
+  scenario-space execution through the unified runtime).
 """
 
 from __future__ import annotations
 
 import argparse
-import random
-import sys
-from typing import Any, Sequence
+from typing import Sequence
 
-from repro.analysis import format_table, latency_profile, latency_summary_table
-from repro.commit import compare_commit_rates
-from repro.consensus import (
-    A1,
-    COptFloodSet,
-    COptFloodSetWS,
-    FloodSet,
-    FloodSetWS,
-    FOptFloodSet,
-    FOptFloodSetWS,
+from repro.cli import check as _check
+from repro.cli import experiments as _experiments
+from repro.cli import show as _show
+from repro.cli import sweep as _sweep
+from repro.cli import trace as _trace
+
+# Backward-compatible re-exports: the shared CLI vocabulary moved to
+# repro.cli.common, but callers (and tests) import it from here.
+from repro.cli.common import (  # noqa: F401
+    ALGORITHMS,
+    EXPECTED_DISAGREEMENT,
+    NON_CONSENSUS_VALUES,
+    SCENARIO_ALIASES,
+    SCENARIOS,
 )
-from repro.core import (
-    run_all_experiments,
-    run_all_extensions,
-    run_experiment,
-    run_extension,
-    write_report,
-)
-from repro.failures import FailurePattern
-from repro.obs import (
-    CompositeObserver,
-    EventLog,
-    MetricsObserver,
-    MetricsRegistry,
-    Profiler,
-    check_events,
-    diff_traces,
-    events_from_jsonl_lines,
-    logical_clock,
-    replay_events,
-    set_profiler,
-    view_divergence,
-)
-from repro.rounds import RoundModel, run_rs, run_rws
-from repro.sdd import (
-    SP_CANDIDATE_FACTORIES,
-    refute_sdd_candidate,
-    sdd_quadruple_traces,
-    solve_sdd_ss,
-)
-from repro.sdd.spec import RECEIVER
-from repro.trace import describe_run, round_tableau, step_diagram
-from repro.workloads import (
-    a1_rws_disagreement,
-    adversarial_split,
-    floodset_rws_violation,
-    initially_dead_t,
-)
-
-ALGORITHMS = {
-    "floodset": FloodSet,
-    "floodset-ws": FloodSetWS,
-    "c-opt": COptFloodSet,
-    "c-opt-ws": COptFloodSetWS,
-    "f-opt": FOptFloodSet,
-    "f-opt-ws": FOptFloodSetWS,
-    "a1": A1,
-}
-
-SCENARIOS = {
-    "a1-rws": (
-        "the Section 5.3 disagreement: p1 decides on its own pending "
-        "broadcast",
-        lambda: (A1(), adversarial_split(3), a1_rws_disagreement(3), RoundModel.RWS),
-    ),
-    "floodset-rws": (
-        "plain FloodSet split by a pending value in the decision round",
-        lambda: (
-            FloodSet(),
-            adversarial_split(3),
-            floodset_rws_violation(3),
-            RoundModel.RWS,
-        ),
-    ),
-    "fopt-fast": (
-        "t initial crashes let F_OptFloodSet decide at round 1",
-        lambda: (
-            FOptFloodSet(),
-            adversarial_split(3),
-            initially_dead_t(3, 1),
-            RoundModel.RS,
-        ),
-    ),
-    "broadcast-split": (
-        "plain atomic broadcast loses total order under a pending batch",
-        lambda: _broadcast_split_scenario(),
-    ),
-}
-
-
-#: Long-form names accepted anywhere a scenario name is (docs and the
-#: paper's prose refer to the counterexamples by these).
-SCENARIO_ALIASES = {
-    "floodset-rws-violation": "floodset-rws",
-    "a1-rws-disagreement": "a1-rws",
-}
-
-
-def _broadcast_split_scenario():
-    from repro.broadcast import AtomicBroadcast
-
-    return (
-        AtomicBroadcast(),
-        (("x",), ("y",), ("z",)),
-        floodset_rws_violation(3),
-        RoundModel.RWS,
-    )
-
-
-def _resolve_scenario(name: str) -> tuple[str, Any] | None:
-    """Look a scenario up by name or alias; ``None`` when unknown."""
-    return SCENARIOS.get(SCENARIO_ALIASES.get(name, name))
-
-
-def _unknown_scenario(name: str) -> int:
-    """Print the standard unknown-scenario message; returns exit code 2."""
-    known = sorted(SCENARIOS) + sorted(SCENARIO_ALIASES)
-    print(
-        f"error: unknown scenario {name!r}; choose from {known}",
-        file=sys.stderr,
-    )
-    return 2
-
-
-def _run_by_id(exp_id: str, quick: bool):
-    if exp_id.upper().startswith("X"):
-        return run_extension(exp_id, quick)
-    return run_experiment(exp_id, quick)
-
-
-def _cmd_experiments(args: argparse.Namespace) -> int:
-    quick = not args.full
-    if args.ids:
-        results = [_run_by_id(exp_id, quick) for exp_id in args.ids]
-    else:
-        results = run_all_experiments(quick)
-        if args.extensions:
-            results.extend(run_all_extensions(quick))
-    failures = 0
-    for result in results:
-        print(result.describe())
-        print()
-        failures += 0 if result.ok else 1
-    print(f"{len(results) - failures}/{len(results)} experiments passed")
-    return 1 if failures else 0
-
-
-def _cmd_report(args: argparse.Namespace) -> int:
-    passed = write_report(args.output, quick=not args.full)
-    print(f"wrote {args.output} ({passed} experiments passing)")
-    return 0
-
-
-def _cmd_summary(args: argparse.Namespace) -> int:
-    algorithms = [
-        FloodSet(),
-        FloodSetWS(),
-        COptFloodSet(),
-        COptFloodSetWS(),
-        FOptFloodSet(),
-        FOptFloodSetWS(),
-        A1(),
-    ]
-    rows = latency_summary_table(algorithms, n=args.n, t=1)
-    print(format_table(rows))
-    return 0
-
-
-def _cmd_sdd(args: argparse.Namespace) -> int:
-    print("SS solves SDD (value 1, sender crashes at time 2):")
-    pattern = FailurePattern.with_crashes(2, {0: 2})
-    run = solve_sdd_ss(1, pattern, phi=1, delta=1, rng=random.Random(args.seed))
-    print(" ", describe_run(run))
-    print(step_diagram(run, max_rows=12))
-    print()
-    print("Theorem 3.1 refutations in SP:")
-    for name, factory in SP_CANDIDATE_FACTORIES.items():
-        print(refute_sdd_candidate(factory, name).describe())
-    return 0
-
-
-def _cmd_commit(args: argparse.Namespace) -> int:
-    for name, report in compare_commit_rates(n=args.n, t=1).items():
-        print(f"{name}: {report.describe()}")
-    return 0
-
-
-def _cmd_latency(args: argparse.Namespace) -> int:
-    factory = ALGORITHMS.get(args.algorithm)
-    if factory is None:
-        print(
-            f"unknown algorithm {args.algorithm!r}; choose from "
-            f"{sorted(ALGORITHMS)}",
-            file=sys.stderr,
-        )
-        return 2
-    algorithm = factory()
-    for model in (RoundModel.RS, RoundModel.RWS):
-        try:
-            profile = latency_profile(algorithm, args.n, 1, model)
-        except Exception as exc:  # unsafe pairs raise on non-termination
-            print(f"{model.value}: not measurable ({exc})")
-            continue
-        print(profile.describe())
-    return 0
-
-
-def _cmd_show(args: argparse.Namespace) -> int:
-    entry = _resolve_scenario(args.scenario)
-    if entry is None:
-        return _unknown_scenario(args.scenario)
-    blurb, build = entry
-    algorithm, values, scenario, model = build()
-    runner = run_rws if model is RoundModel.RWS else run_rs
-    run = runner(algorithm, values, scenario, t=1, max_rounds=4)
-    if getattr(args, "dot", False):
-        from repro.trace import round_run_to_dot
-
-        print(round_run_to_dot(run))
-        return 0
-    print(f"{args.scenario}: {blurb}")
-    print(f"algorithm={algorithm.name}, model={model.value}, values={values}")
-    print()
-    print(round_tableau(run))
-    return 0
-
-
-def _cmd_trace(args: argparse.Namespace) -> int:
-    entry = _resolve_scenario(args.scenario)
-    if entry is None:
-        return _unknown_scenario(args.scenario)
-    blurb, build = entry
-    algorithm, values, scenario, model = build()
-    # Logical (counter) timestamps by default so exported traces are
-    # deterministic and `repro replay` can match them byte-for-byte.
-    log = EventLog() if args.wall_ts else EventLog(clock=logical_clock())
-    registry = MetricsRegistry()
-    observer = CompositeObserver(log, MetricsObserver(registry))
-    runner = run_rws if model is RoundModel.RWS else run_rs
-    runner(
-        algorithm, values, scenario, t=1, max_rounds=4, observer=observer
-    )
-    if args.jsonl:
-        count = log.write_jsonl(args.jsonl)
-        print(f"wrote {count} events to {args.jsonl}")
-    else:
-        for line in log.jsonl_lines():
-            print(line)
-    kinds: dict[str, int] = {}
-    for event in log:
-        kinds[event.kind] = kinds.get(event.kind, 0) + 1
-    summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
-    print(f"# {args.scenario}: {blurb}", file=sys.stderr)
-    print(f"# events: {summary}", file=sys.stderr)
-    return 0
-
-
-#: Scenarios whose whole point is a consensus violation (the paper's
-#: counterexamples).  ``repro check`` treats them as reproduction
-#: oracles: the *model* invariants must hold and the documented
-#: disagreement must actually show up in the trace.
-EXPECTED_DISAGREEMENT = {"a1-rws", "floodset-rws", "broadcast-split"}
-
-#: Scenarios whose decide values are not drawn from the initial values
-#: (atomic broadcast decides delivery sequences), so validity cannot be
-#: checked against the inputs.
-NON_CONSENSUS_VALUES = {"broadcast-split"}
-
-
-def _run_scenario_trace(build: Any) -> tuple[Any, Any, Any, RoundModel, EventLog]:
-    """Execute a scenario under a deterministic event log."""
-    algorithm, values, scenario, model = build()
-    log = EventLog(clock=logical_clock())
-    runner = run_rws if model is RoundModel.RWS else run_rs
-    runner(algorithm, values, scenario, t=1, max_rounds=4, observer=log)
-    return algorithm, values, scenario, model, log
-
-
-def _load_trace(path: str) -> list[Any] | None:
-    """Parse a JSONL trace file; prints the error and returns None on failure."""
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            return events_from_jsonl_lines(handle)
-    except OSError as exc:
-        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        return None
-    except ValueError as exc:
-        print(f"error: {path}: {exc}", file=sys.stderr)
-        return None
-
-
-def _cmd_check(args: argparse.Namespace) -> int:
-    if args.jsonl:
-        events = _load_trace(args.jsonl)
-        if events is None:
-            return 2
-        report = check_events(events, model=args.model)
-        print(report.describe())
-        return 0 if report.ok else 1
-
-    if args.scenario is None:
-        print(
-            "error: provide a scenario name or --jsonl PATH",
-            file=sys.stderr,
-        )
-        return 2
-    entry = _resolve_scenario(args.scenario)
-    if entry is None:
-        return _unknown_scenario(args.scenario)
-    canonical = SCENARIO_ALIASES.get(args.scenario, args.scenario)
-    blurb, build = entry
-    _, values, _, model, log = _run_scenario_trace(build)
-    initial_values = None if canonical in NON_CONSENSUS_VALUES else values
-    report = check_events(
-        log.events, model=model.value, initial_values=initial_values
-    )
-    print(f"{args.scenario}: {blurb}")
-    print(report.describe())
-    consensus_errors = [
-        v for v in report.errors if v.checker == "consensus"
-    ]
-    model_errors = [v for v in report.errors if v.checker != "consensus"]
-    if model_errors:
-        print("FAIL: model invariants violated", file=sys.stderr)
-        return 1
-    if canonical in EXPECTED_DISAGREEMENT:
-        if not consensus_errors:
-            print(
-                "FAIL: expected the documented disagreement but the trace "
-                "is clean",
-                file=sys.stderr,
-            )
-            return 1
-        print(
-            "ok: model invariants hold; the documented disagreement is "
-            f"reproduced ({len(consensus_errors)} consensus violation(s))"
-        )
-        return 0
-    if consensus_errors:
-        print("FAIL: consensus violated", file=sys.stderr)
-        return 1
-    print("ok: all invariants hold")
-    return 0
-
-
-def _cmd_replay(args: argparse.Namespace) -> int:
-    entry = _resolve_scenario(args.scenario)
-    if entry is None:
-        return _unknown_scenario(args.scenario)
-    blurb, build = entry
-    algorithm, values, _, model = build()
-    events = _load_trace(args.trace)
-    if events is None:
-        return 2
-    try:
-        report = replay_events(
-            algorithm, values, events, t=1, model=model.value
-        )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(f"{args.scenario}: {blurb}")
-    print(report.describe())
-    return 0 if report.matches else 1
-
-
-def _cmd_diff(args: argparse.Namespace) -> int:
-    if args.sdd:
-        return _diff_sdd(args.sdd)
-    if not args.trace_a or not args.trace_b:
-        print(
-            "error: provide two trace files (or --sdd CANDIDATE)",
-            file=sys.stderr,
-        )
-        return 2
-    a = _load_trace(args.trace_a)
-    b = _load_trace(args.trace_b)
-    if a is None or b is None:
-        return 2
-    ignore = tuple(
-        name.strip() for name in args.ignore.split(",") if name.strip()
-    )
-    if args.pid is not None:
-        divergence = view_divergence(a, b, args.pid)
-        if divergence is None:
-            print(
-                f"p{args.pid}'s local views are indistinguishable "
-                "(deliveries, suspicions and decisions match in order)"
-            )
-            return 0
-        print(f"p{args.pid}: " + divergence.describe())
-        return 1
-    diff = diff_traces(a, b, ignore=ignore)
-    print(diff.describe())
-    return 0 if diff.identical else 1
-
-
-def _diff_sdd(candidate: str) -> int:
-    """The Theorem 3.1 demo: r0 ~ r0' and r1 ~ r1' for the receiver."""
-    factory = SP_CANDIDATE_FACTORIES.get(candidate)
-    if factory is None:
-        print(
-            f"error: unknown SDD candidate {candidate!r}; choose from "
-            f"{sorted(SP_CANDIDATE_FACTORIES)}",
-            file=sys.stderr,
-        )
-        return 2
-    traces = sdd_quadruple_traces(factory)
-    print(
-        f"Theorem 3.1 quadruple for candidate {candidate!r} "
-        "(receiver's local views):"
-    )
-    all_indistinguishable = True
-    for left, right in (("r0", "r0'"), ("r1", "r1'")):
-        divergence = view_divergence(
-            traces[left].events, traces[right].events, RECEIVER
-        )
-        if divergence is None:
-            print(f"  {left} ~ {right}: indistinguishable to the receiver")
-        else:
-            all_indistinguishable = False
-            print(f"  {left} vs {right}: " + divergence.describe())
-    if all_indistinguishable:
-        print(
-            "  => the receiver must decide identically within each pair; "
-            "validity forces 0 in r0' and 1 in r1' — contradiction"
-        )
-    return 0 if all_indistinguishable else 1
-
-
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    entry = _resolve_scenario(args.scenario)
-    if entry is None:
-        return _unknown_scenario(args.scenario)
-    blurb, build = entry
-    algorithm, values, scenario, model = build()
-    registry = MetricsRegistry()
-    profiler = Profiler()
-    set_profiler(profiler)
-    try:
-        runner = run_rws if model is RoundModel.RWS else run_rs
-        runner(
-            algorithm,
-            values,
-            scenario,
-            t=1,
-            max_rounds=4,
-            observer=MetricsObserver(registry),
-        )
-    finally:
-        set_profiler(None)
-    profiler.merge_into(registry)
-    print(f"{args.scenario}: {blurb}")
-    print(registry.render())
-    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -499,144 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p_exp = sub.add_parser("experiments", help="run the E1-E15 suite")
-    p_exp.add_argument("--ids", nargs="*", help="experiment ids (default all)")
-    p_exp.add_argument(
-        "--full", action="store_true", help="larger sweeps (slower)"
-    )
-    p_exp.add_argument(
-        "--extensions",
-        action="store_true",
-        help="also run the X1-X4 extension experiments",
-    )
-    p_exp.set_defaults(func=_cmd_experiments)
-
-    p_report = sub.add_parser(
-        "report", help="regenerate EXPERIMENTS.md from live runs"
-    )
-    p_report.add_argument("--output", default="EXPERIMENTS.md")
-    p_report.add_argument("--full", action="store_true")
-    p_report.set_defaults(func=_cmd_report)
-
-    p_summary = sub.add_parser("summary", help="headline latency table")
-    p_summary.add_argument("--n", type=int, default=3)
-    p_summary.set_defaults(func=_cmd_summary)
-
-    p_sdd = sub.add_parser("sdd", help="the SDD story")
-    p_sdd.add_argument("--seed", type=int, default=7)
-    p_sdd.set_defaults(func=_cmd_sdd)
-
-    p_commit = sub.add_parser("commit", help="commit-rate comparison")
-    p_commit.add_argument("--n", type=int, default=3)
-    p_commit.set_defaults(func=_cmd_commit)
-
-    p_lat = sub.add_parser("latency", help="latency profile of an algorithm")
-    p_lat.add_argument("algorithm", choices=sorted(ALGORITHMS))
-    p_lat.add_argument("--n", type=int, default=3)
-    p_lat.set_defaults(func=_cmd_latency)
-
-    p_show = sub.add_parser("show", help="render a named scenario")
-    p_show.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
-    p_show.add_argument(
-        "--dot",
-        action="store_true",
-        help="emit Graphviz DOT instead of the ASCII tableau",
-    )
-    p_show.set_defaults(func=_cmd_show)
-
-    p_trace = sub.add_parser(
-        "trace", help="export a scenario's structured event trace"
-    )
-    p_trace.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
-    p_trace.add_argument(
-        "--jsonl",
-        metavar="PATH",
-        help="write the trace to PATH (default: print to stdout)",
-    )
-    p_trace.add_argument(
-        "--wall-ts",
-        action="store_true",
-        help=(
-            "timestamp events with wall-clock time instead of the "
-            "deterministic logical counter"
-        ),
-    )
-    p_trace.set_defaults(func=_cmd_trace)
-
-    p_check = sub.add_parser(
-        "check", help="run the trace oracle over a scenario or JSONL file"
-    )
-    p_check.add_argument(
-        "scenario",
-        nargs="?",
-        help=f"one of {sorted(SCENARIOS)} (or use --jsonl)",
-    )
-    p_check.add_argument(
-        "--jsonl",
-        metavar="PATH",
-        help="check an exported trace file instead of a live scenario",
-    )
-    p_check.add_argument(
-        "--model",
-        choices=["RS", "RWS"],
-        help=(
-            "synchrony checker for --jsonl traces (default: weak round "
-            "synchrony, sound for both models)"
-        ),
-    )
-    p_check.set_defaults(func=_cmd_check)
-
-    p_replay = sub.add_parser(
-        "replay",
-        help="re-execute an exported trace and assert event equality",
-    )
-    p_replay.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
-    p_replay.add_argument(
-        "trace", metavar="TRACE.jsonl", help="trace exported by `repro trace`"
-    )
-    p_replay.set_defaults(func=_cmd_replay)
-
-    p_diff = sub.add_parser(
-        "diff", help="divergence diff of two traces (Theorem 3.1 lens)"
-    )
-    p_diff.add_argument(
-        "trace_a", nargs="?", metavar="A.jsonl", help="first trace"
-    )
-    p_diff.add_argument(
-        "trace_b", nargs="?", metavar="B.jsonl", help="second trace"
-    )
-    p_diff.add_argument(
-        "--pid",
-        type=int,
-        help="compare only this process's local view (indistinguishability)",
-    )
-    p_diff.add_argument(
-        "--ignore",
-        default="ts",
-        help="comma-separated event fields to ignore (default: ts)",
-    )
-    p_diff.add_argument(
-        "--sdd",
-        metavar="CANDIDATE",
-        help=(
-            "run the Theorem 3.1 quadruple for an SP candidate and diff "
-            f"the receiver's views; one of {sorted(SP_CANDIDATE_FACTORIES)}"
-        ),
-    )
-    p_diff.set_defaults(func=_cmd_diff)
-
-    p_metrics = sub.add_parser(
-        "metrics", help="print a scenario's metrics snapshot"
-    )
-    p_metrics.add_argument(
-        "scenario",
-        nargs="?",
-        default="floodset-rws",
-        help=f"one of {sorted(SCENARIOS)} (default: floodset-rws)",
-    )
-    p_metrics.set_defaults(func=_cmd_metrics)
-
+    for module in (_experiments, _show, _trace, _check, _sweep):
+        module.register(sub)
     return parser
 
 

@@ -1,0 +1,41 @@
+"""``repro show``: execute a named scenario and render it."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import SCENARIOS, resolve_scenario, unknown_scenario
+from repro.rounds import RoundModel, run_rs, run_rws
+from repro.trace import round_tableau
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    entry = resolve_scenario(args.scenario)
+    if entry is None:
+        return unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, scenario, model = build()
+    runner = run_rws if model is RoundModel.RWS else run_rs
+    run = runner(algorithm, values, scenario, t=1, max_rounds=4)
+    if getattr(args, "dot", False):
+        from repro.trace import round_run_to_dot
+
+        print(round_run_to_dot(run))
+        return 0
+    print(f"{args.scenario}: {blurb}")
+    print(f"algorithm={algorithm.name}, model={model.value}, values={values}")
+    print()
+    print(round_tableau(run))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_show = sub.add_parser("show", help="render a named scenario")
+    p_show.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
+    p_show.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz DOT instead of the ASCII tableau",
+    )
+    p_show.set_defaults(func=_cmd_show)

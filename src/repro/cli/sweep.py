@@ -1,0 +1,103 @@
+"""``repro sweep``: run a scenario space through the unified runtime.
+
+Spaces come from the runtime catalogue (``repro sweep --list``); the
+runner executes them serially or across a process pool, optionally
+backed by the on-disk result cache, and can pipe every produced trace
+through the trace oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+from repro.runtime import SPACE_FACTORIES, SweepRunner, space_by_name
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in sorted(SPACE_FACTORIES):
+            print(name)
+        return 0
+    if args.space is None:
+        print(
+            f"error: provide a space name (one of {sorted(SPACE_FACTORIES)})"
+            " or --list",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        space = space_by_name(args.space, count=args.count, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = SweepRunner(
+        jobs=args.jobs, cache=args.cache_dir, check=args.check
+    )
+    result = runner.run(space)
+    print(result.describe())
+    if args.jsonl:
+        count = result.write_merged_jsonl(args.jsonl)
+        print(f"wrote {count} merged events to {args.jsonl}")
+    if args.space == "e10-lambda":
+        print("latency (best, worst) per algorithm over failure-free runs:")
+        for name, (best, worst) in sorted(
+            result.latency_by_algorithm().items()
+        ):
+            worst_text = "undecided" if worst is None else str(worst)
+            print(f"  {name}: best={best}, worst(Λ)={worst_text}")
+    if args.check and not result.checks_ok:
+        return 1
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="execute a scenario space (parallel, cached, checked)",
+    )
+    p_sweep.add_argument(
+        "space",
+        nargs="?",
+        help=f"one of {sorted(SPACE_FACTORIES)}",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1, serial)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk result cache; repeated sweeps execute 0 scenarios",
+    )
+    p_sweep.add_argument(
+        "--check",
+        action="store_true",
+        help="run the trace oracle over every cell's trace",
+    )
+    p_sweep.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the merged (deterministic) sweep trace to PATH",
+    )
+    p_sweep.add_argument(
+        "--count",
+        type=int,
+        help="cells per random stream (stream-based spaces only)",
+    )
+    p_sweep.add_argument(
+        "--seed",
+        type=int,
+        help="stream seed (stream-based spaces only)",
+    )
+    p_sweep.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered scenario spaces and exit",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)

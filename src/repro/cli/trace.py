@@ -1,0 +1,109 @@
+"""``repro trace`` and ``repro metrics``: structured observability
+exports for a named scenario."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import SCENARIOS, resolve_scenario, unknown_scenario
+from repro.obs import (
+    CompositeObserver,
+    EventLog,
+    MetricsObserver,
+    MetricsRegistry,
+    Profiler,
+    logical_clock,
+    set_profiler,
+)
+from repro.rounds import RoundModel, run_rs, run_rws
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    entry = resolve_scenario(args.scenario)
+    if entry is None:
+        return unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, scenario, model = build()
+    # Logical (counter) timestamps by default so exported traces are
+    # deterministic and `repro replay` can match them byte-for-byte.
+    log = EventLog() if args.wall_ts else EventLog(clock=logical_clock())
+    registry = MetricsRegistry()
+    observer = CompositeObserver(log, MetricsObserver(registry))
+    runner = run_rws if model is RoundModel.RWS else run_rs
+    runner(
+        algorithm, values, scenario, t=1, max_rounds=4, observer=observer
+    )
+    if args.jsonl:
+        count = log.write_jsonl(args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}")
+    else:
+        for line in log.jsonl_lines():
+            print(line)
+    kinds: dict[str, int] = {}
+    for event in log:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    print(f"# {args.scenario}: {blurb}", file=sys.stderr)
+    print(f"# events: {summary}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    entry = resolve_scenario(args.scenario)
+    if entry is None:
+        return unknown_scenario(args.scenario)
+    blurb, build = entry
+    algorithm, values, scenario, model = build()
+    registry = MetricsRegistry()
+    profiler = Profiler()
+    set_profiler(profiler)
+    try:
+        runner = run_rws if model is RoundModel.RWS else run_rs
+        runner(
+            algorithm,
+            values,
+            scenario,
+            t=1,
+            max_rounds=4,
+            observer=MetricsObserver(registry),
+        )
+    finally:
+        set_profiler(None)
+    profiler.merge_into(registry)
+    print(f"{args.scenario}: {blurb}")
+    print(registry.render())
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_trace = sub.add_parser(
+        "trace", help="export a scenario's structured event trace"
+    )
+    p_trace.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
+    p_trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write the trace to PATH (default: print to stdout)",
+    )
+    p_trace.add_argument(
+        "--wall-ts",
+        action="store_true",
+        help=(
+            "timestamp events with wall-clock time instead of the "
+            "deterministic logical counter"
+        ),
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print a scenario's metrics snapshot"
+    )
+    p_metrics.add_argument(
+        "scenario",
+        nargs="?",
+        default="floodset-rws",
+        help=f"one of {sorted(SCENARIOS)} (default: floodset-rws)",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)

@@ -604,7 +604,24 @@ def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
     return EXPERIMENTS[key](quick)
 
 
-def run_all_experiments(quick: bool = True) -> list[ExperimentResult]:
-    """Run the full E1–E15 suite in order."""
+def _run_keyed(key_and_quick: tuple[str, bool]) -> ExperimentResult:
+    """Pool-friendly wrapper: one (experiment id, quick) cell."""
+    key, quick = key_and_quick
+    return EXPERIMENTS[key](quick)
+
+
+def run_all_experiments(
+    quick: bool = True, jobs: int = 1
+) -> list[ExperimentResult]:
+    """Run the full E1–E15 suite in order.
+
+    With ``jobs > 1`` the experiments fan out over a process pool
+    (they are independent and internally seeded); results come back in
+    suite order regardless of scheduling.
+    """
+    from repro.runtime.pool import parallel_map
+
     ordered = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
-    return [EXPERIMENTS[key](quick) for key in ordered]
+    return parallel_map(
+        _run_keyed, [(key, quick) for key in ordered], jobs=jobs
+    )

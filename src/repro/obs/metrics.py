@@ -112,6 +112,42 @@ class MetricsRegistry:
             },
         }
 
+    def state(self) -> dict[str, Any]:
+        """A lossless, JSON-ready dump: histograms keep raw samples.
+
+        Unlike :meth:`snapshot` (which summarises histograms), the
+        state form can be merged into another registry without losing
+        information — the transport format the sweep runtime uses to
+        aggregate per-worker registries into one.
+        """
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: list(h.values)
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`state` dump into this registry.
+
+        Counters add, histogram samples extend (in dump order), gauges
+        take the incoming value (last write wins) — so merging worker
+        states in a fixed order yields the same aggregate regardless of
+        how execution was scheduled across workers.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            self.histogram(name).values.extend(values)
+
     def render(self) -> str:
         """A human-readable dump, one instrument per line."""
         lines: list[str] = []

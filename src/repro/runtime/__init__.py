@@ -1,0 +1,96 @@
+"""The unified execution runtime: one seam over every engine.
+
+The repo has four execution engines — the RS/RWS round executor, the
+SS/SP step executor, and the two Section 4 emulations.  Before this
+package, every caller (CLI, experiments, benches, the oracle sweep)
+carried its own driver loop over them.  The runtime replaces that
+plumbing with a single interface:
+
+* :class:`ExecutionRequest` → :class:`ExecutionResult` — one
+  immutable, serializable description of a cell in, one structured
+  result (deterministic trace + raw metrics + decisions) out;
+* :class:`~repro.runtime.harness.Harness` adapters
+  (:class:`~repro.runtime.harness.RoundHarness`,
+  :class:`~repro.runtime.harness.SSEmulationHarness`,
+  :class:`~repro.runtime.harness.SPEmulationHarness`) behind
+  :func:`execute_request`;
+* :class:`ScenarioSpace` — the canonical enumerator of run sets
+  (explicit lists, workload aliases, seeded random streams with
+  derived per-cell seeds);
+* :class:`SweepRunner` — serial or ``multiprocessing`` execution with
+  byte-identical merged traces, order-independent metric aggregation,
+  an on-disk :class:`ResultCache`, and optional trace-oracle checking.
+
+This is the architectural seam future scaling work (sharding, async
+backends, distributed workers) plugs into: a new backend implements
+the harness protocol and inherits sweeps, caching, merging and
+checking for free.
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.harness import (
+    HARNESSES,
+    Harness,
+    RoundHarness,
+    SPEmulationHarness,
+    SSEmulationHarness,
+    execute_request,
+    harness_for,
+)
+from repro.runtime.pool import default_jobs, parallel_map
+from repro.runtime.registry import ALGORITHM_FACTORIES, make_algorithm
+from repro.runtime.request import (
+    CACHE_SCHEMA_VERSION,
+    ENGINES,
+    ExecutionRequest,
+    ExecutionResult,
+)
+from repro.runtime.space import (
+    SCENARIO_BUILDERS,
+    SPACE_FACTORIES,
+    ScenarioSpace,
+    derived_seed,
+    e10_lambda_space,
+    oracle_sweep_space,
+    random_space,
+    space_by_name,
+)
+from repro.runtime.sweep import (
+    CellCheck,
+    SweepResult,
+    SweepRunner,
+    check_cell,
+    run_space,
+)
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "CACHE_SCHEMA_VERSION",
+    "CellCheck",
+    "ENGINES",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "HARNESSES",
+    "Harness",
+    "ResultCache",
+    "RoundHarness",
+    "SCENARIO_BUILDERS",
+    "SPACE_FACTORIES",
+    "SPEmulationHarness",
+    "SSEmulationHarness",
+    "ScenarioSpace",
+    "SweepResult",
+    "SweepRunner",
+    "check_cell",
+    "default_jobs",
+    "derived_seed",
+    "e10_lambda_space",
+    "execute_request",
+    "harness_for",
+    "make_algorithm",
+    "oracle_sweep_space",
+    "parallel_map",
+    "random_space",
+    "run_space",
+    "space_by_name",
+]

@@ -1,0 +1,68 @@
+"""On-disk result cache for sweep cells.
+
+One JSON file per executed cell, named by the request's stable
+:meth:`~repro.runtime.request.ExecutionRequest.cache_key`.  Repeated
+sweeps (CI re-runs, ``make bench-report``, iterating on an analysis)
+skip every cell whose request hash they have seen before — the second
+run of an unchanged sweep executes zero scenarios.
+
+Corrupt or unreadable entries are treated as misses (and re-written),
+never as errors: a cache must only ever make things faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.runtime.request import ExecutionRequest, ExecutionResult
+
+
+class ResultCache:
+    """A directory of ``<cache_key>.json`` execution results."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, request: ExecutionRequest) -> ExecutionResult | None:
+        """The cached result for ``request``, or ``None`` on a miss."""
+        path = self._path(request.cache_key())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = ExecutionResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        result.cached = True
+        return result
+
+    def put(self, request: ExecutionRequest, result: ExecutionResult) -> None:
+        """Store ``result`` under ``request``'s key (atomic replace)."""
+        path = self._path(request.cache_key())
+        payload = json.dumps(result.to_dict(), sort_keys=True, default=repr)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for entry in self.directory.glob("*.json")
+            if not entry.name.startswith(".tmp-")
+        )

@@ -1,0 +1,188 @@
+"""Harness adapters: one ``execute`` seam over every engine.
+
+The repo has four ways to run an algorithm — the RS/RWS round executor,
+and the two step-kernel emulations (RS on SS, RWS on SP), each with its
+own signature.  A :class:`Harness` adapts one engine to the uniform
+``(request, observer) -> engine-native run`` shape, and
+:func:`execute_request` wraps any harness with the standard
+instrumentation (a logical-clock event log plus a metrics registry) and
+lifts the outcome into an :class:`~repro.runtime.request.ExecutionResult`.
+
+``execute_request`` is deliberately a module-level function of one
+picklable argument: it is the unit of work a ``multiprocessing`` pool
+ships to workers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping, Protocol
+
+from repro.emulation import emulate_rs_on_ss, emulate_rws_on_sp
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    CompositeObserver,
+    EventLog,
+    Observer,
+    logical_clock,
+)
+from repro.obs.metrics import MetricsObserver, MetricsRegistry
+from repro.rounds import RoundModel
+from repro.rounds.executor import execute as execute_rounds
+from repro.runtime.registry import make_algorithm
+from repro.runtime.request import ExecutionRequest, ExecutionResult
+
+
+class Harness(Protocol):
+    """Adapter protocol: run a request on one engine.
+
+    Implementations return the engine's native run object; the caller
+    extracts the uniform fields (decisions, latency, round count) via
+    :meth:`summarize`.
+    """
+
+    engine: str
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        """Run the request's cell, streaming events to ``observer``."""
+        ...
+
+    def summarize(self, run: Any) -> tuple[dict[int, tuple[int, Any]], int | None, int]:
+        """``(decisions, latency, num_rounds)`` of a native run."""
+        ...
+
+
+class RoundHarness:
+    """The RS/RWS round executor behind the uniform interface."""
+
+    engine = "rounds"
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        return execute_rounds(
+            make_algorithm(request.algorithm),
+            request.values,
+            request.scenario,
+            t=request.t,
+            model=RoundModel(request.model),
+            max_rounds=request.max_rounds,
+            observer=observer,
+            **request.param_dict(),
+        )
+
+    def summarize(self, run: Any):
+        return dict(run.decisions), run.latency(), run.num_rounds
+
+
+def _emulation_summary(trace: Any) -> tuple[dict[int, tuple[int, Any]], int | None, int]:
+    """Uniform fields of an :class:`EmulatedRoundTrace`."""
+    decisions = {
+        pid: entry
+        for pid, entry in trace.decisions.items()
+        if entry is not None
+    }
+    correct = trace.run.pattern.correct
+    latency: int | None = 0
+    for pid in correct:
+        entry = decisions.get(pid)
+        if entry is None:
+            latency = None
+            break
+        latency = max(latency, entry[0])
+    return decisions, latency, trace.num_rounds
+
+
+class SSEmulationHarness:
+    """RS emulated on the SS step kernel (Section 4.1)."""
+
+    engine = "rs_on_ss"
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        return emulate_rs_on_ss(
+            make_algorithm(request.algorithm),
+            request.values,
+            request.pattern,
+            t=request.t,
+            num_rounds=request.max_rounds,
+            rng=random.Random(request.seed),
+            observer=observer,
+            **request.param_dict(),
+        )
+
+    def summarize(self, trace: Any):
+        return _emulation_summary(trace)
+
+
+class SPEmulationHarness:
+    """RWS emulated on the SP step kernel (Section 4.2)."""
+
+    engine = "rws_on_sp"
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        return emulate_rws_on_sp(
+            make_algorithm(request.algorithm),
+            request.values,
+            request.pattern,
+            t=request.t,
+            num_rounds=request.max_rounds,
+            rng=random.Random(request.seed),
+            observer=observer,
+            **request.param_dict(),
+        )
+
+    def summarize(self, trace: Any):
+        return _emulation_summary(trace)
+
+
+#: Engine name → harness singleton.  Harnesses are stateless, so one
+#: instance serves every worker.
+HARNESSES: Mapping[str, Any] = {
+    harness.engine: harness
+    for harness in (RoundHarness(), SSEmulationHarness(), SPEmulationHarness())
+}
+
+
+def harness_for(engine: str):
+    harness = HARNESSES.get(engine)
+    if harness is None:
+        raise ConfigurationError(
+            f"no harness for engine {engine!r}; choose from "
+            f"{sorted(HARNESSES)}"
+        )
+    return harness
+
+
+def execute_request(
+    request: ExecutionRequest, *, observer: Observer | None = None
+) -> ExecutionResult:
+    """Execute one cell under the standard instrumentation.
+
+    Events are recorded with the deterministic logical clock (per-cell
+    timestamps restart at 1.0), so the resulting trace is identical no
+    matter which process — or how many sibling workers — executed it.
+    An extra ``observer`` joins the composite when given.
+    """
+    harness = harness_for(request.engine)
+    log = EventLog(clock=logical_clock())
+    registry = MetricsRegistry()
+    observers: list[Observer] = [log, MetricsObserver(registry)]
+    if observer is not None:
+        observers.append(observer)
+    run = harness.execute(request, CompositeObserver(*observers))
+    decisions, latency, num_rounds = harness.summarize(run)
+    return ExecutionResult(
+        name=request.name,
+        request_key=request.cache_key(),
+        events=list(log.events),
+        metrics=registry.state(),
+        decisions=decisions,
+        latency=latency,
+        num_rounds=num_rounds,
+    )

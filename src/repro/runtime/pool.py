@@ -1,0 +1,60 @@
+"""The one parallel-execution primitive the repo uses.
+
+Everything that fans work out — sweep cells, the experiment suite —
+goes through :func:`parallel_map`, so policy decisions (start method,
+chunking, the serial fast path) live in exactly one place.  Results
+always come back in input order; parallelism must never be observable
+in outputs, only in wall-clock time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine."""
+    return os.cpu_count() or 1
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, inherits imports); fall back otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    jobs: int = 1,
+) -> list[R]:
+    """``[func(item) for item in items]``, optionally across a pool.
+
+    ``jobs <= 1`` (or fewer than two items) runs serially in-process —
+    no pool, no pickling, identical semantics.  ``func`` must be a
+    module-level callable (or a ``functools.partial`` of one) and
+    ``items`` picklable when ``jobs > 1``.
+    """
+    if jobs <= 1 or len(items) < 2:
+        return [func(item) for item in items]
+    workers = min(jobs, len(items))
+    with _context().Pool(processes=workers) as pool:
+        return pool.map(func, items)
+
+
+def map_indexed(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int = 1,
+) -> list[R]:
+    """:func:`parallel_map` over any iterable (materialised first)."""
+    return parallel_map(func, list(items), jobs=jobs)

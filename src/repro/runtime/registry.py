@@ -1,0 +1,56 @@
+"""The canonical algorithm registry: names to zero-argument factories.
+
+Execution requests travel between processes and onto disk, so they
+cannot carry algorithm *instances* — they carry registry keys, and
+every consumer (CLI, sweep workers, cache loads) resolves the key
+through this one table.  Keys are the CLI's historical algorithm names
+plus the non-uniform witnesses used by the gap experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.broadcast import AtomicBroadcast
+from repro.consensus import (
+    A1,
+    COptFloodSet,
+    COptFloodSetWS,
+    EagerFloodSetWS,
+    FloodSet,
+    FloodSetWS,
+    FOptFloodSet,
+    FOptFloodSetWS,
+)
+from repro.errors import ConfigurationError
+from repro.rounds.algorithm import RoundAlgorithm
+
+#: Every round algorithm a request may name.  Zero-argument factories:
+#: the algorithms are stateless between runs, so a fresh instance per
+#: execution keeps workers independent.
+ALGORITHM_FACTORIES: dict[str, Callable[[], RoundAlgorithm]] = {
+    "floodset": FloodSet,
+    "floodset-ws": FloodSetWS,
+    "c-opt": COptFloodSet,
+    "c-opt-ws": COptFloodSetWS,
+    "f-opt": FOptFloodSet,
+    "f-opt-ws": FOptFloodSetWS,
+    "a1": A1,
+    "eager-floodset-ws": EagerFloodSetWS,
+    "atomic-broadcast": AtomicBroadcast,
+}
+
+
+def make_algorithm(name: str) -> RoundAlgorithm:
+    """Instantiate the registered algorithm ``name``.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown keys,
+    naming the known ones.
+    """
+    factory = ALGORITHM_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; choose from "
+            f"{sorted(ALGORITHM_FACTORIES)}"
+        )
+    return factory()

@@ -1,0 +1,246 @@
+"""The unified execution interface: ``ExecutionRequest → ExecutionResult``.
+
+A request is a complete, immutable, serializable description of one
+execution cell — which engine to run, which algorithm, which adversary,
+and under which knobs.  Everything a worker process or a cache lookup
+needs is in the request; nothing is ambient.  That is what makes sweeps
+shippable across a process pool and replayable from disk:
+
+* requests are plain frozen data → picklable for ``multiprocessing``;
+* ``to_dict``/``from_dict`` round-trip through JSON → cacheable;
+* :meth:`ExecutionRequest.cache_key` hashes the canonical JSON form →
+  a stable identity for the on-disk result cache.
+
+A result carries the structured event trace (recorded under the
+deterministic logical clock), the raw metrics state, and the run's
+decisions — enough for the trace oracle, the merge step, and the
+latency aggregations, without re-executing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.failures.pattern import FailurePattern
+from repro.obs.events import Event
+from repro.rounds.scenario import FailureScenario
+from repro.serialize import (
+    pattern_from_dict,
+    pattern_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+#: Bump when the result schema or engine semantics change incompatibly;
+#: part of every cache key, so stale cache entries miss instead of
+#: resurfacing under a new schema.
+CACHE_SCHEMA_VERSION = 1
+
+#: The engines a request may target.
+ENGINES = ("rounds", "rs_on_ss", "rws_on_sp")
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """One execution cell of a scenario space.
+
+    Attributes:
+        name: Human-readable cell label (unique within a space).
+        engine: ``"rounds"`` (the RS/RWS round executor),
+            ``"rs_on_ss"`` or ``"rws_on_sp"`` (the Section 4
+            emulations on the step kernels).
+        algorithm: Registry key (see :mod:`repro.runtime.registry`).
+        values: Initial value per process; fixes ``n``.
+        t: Resilience parameter.
+        model: ``"RS"`` or ``"RWS"`` for the rounds engine; ``None``
+            for the emulations (implied by the engine).
+        scenario: The round-model adversary (rounds engine only).
+        pattern: The step-time failure pattern (emulations only).
+        max_rounds: Round horizon.
+        seed: RNG seed for the randomized step schedulers (emulations
+            only; the rounds engine is fully deterministic).
+        params: Extra engine keyword arguments (``phi``, ``delta``,
+            ``delivery_prob``, ...), stored as a sorted tuple of pairs
+            so requests stay hashable.
+        expect_disagreement: The documented outcome of this cell is a
+            consensus violation (the paper's counterexamples); the
+            ``--check`` oracle then *requires* the disagreement.
+        check_consensus: Whether the consensus checker's verdict is
+            meaningful for this cell (randomized RWS adversaries on
+            non-WS algorithms may legitimately disagree, so only the
+            model invariants are enforced there).
+    """
+
+    name: str
+    engine: str
+    algorithm: str
+    values: tuple[Any, ...]
+    t: int = 1
+    model: str | None = None
+    scenario: FailureScenario | None = None
+    pattern: FailurePattern | None = None
+    max_rounds: int = 4
+    seed: int | None = None
+    params: tuple[tuple[str, Any], ...] = ()
+    expect_disagreement: bool = False
+    check_consensus: bool = True
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.engine == "rounds":
+            if self.scenario is None or self.model not in ("RS", "RWS"):
+                raise ConfigurationError(
+                    f"{self.name}: the rounds engine needs a scenario and "
+                    "model='RS'|'RWS'"
+                )
+        else:
+            if self.pattern is None:
+                raise ConfigurationError(
+                    f"{self.name}: emulation engines need a failure pattern"
+                )
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(
+            self, "params", tuple(sorted(tuple(self.params)))
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "values": list(self.values),
+            "t": self.t,
+            "model": self.model,
+            "scenario": (
+                scenario_to_dict(self.scenario)
+                if self.scenario is not None
+                else None
+            ),
+            "pattern": (
+                pattern_to_dict(self.pattern)
+                if self.pattern is not None
+                else None
+            ),
+            "max_rounds": self.max_rounds,
+            "seed": self.seed,
+            "params": [list(pair) for pair in self.params],
+            "expect_disagreement": self.expect_disagreement,
+            "check_consensus": self.check_consensus,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionRequest":
+        return cls(
+            name=data["name"],
+            engine=data["engine"],
+            algorithm=data["algorithm"],
+            values=tuple(data["values"]),
+            t=data.get("t", 1),
+            model=data.get("model"),
+            scenario=(
+                scenario_from_dict(data["scenario"])
+                if data.get("scenario") is not None
+                else None
+            ),
+            pattern=(
+                pattern_from_dict(data["pattern"])
+                if data.get("pattern") is not None
+                else None
+            ),
+            max_rounds=data.get("max_rounds", 4),
+            seed=data.get("seed"),
+            params=tuple(
+                (key, value) for key, value in data.get("params", ())
+            ),
+            expect_disagreement=data.get("expect_disagreement", False),
+            check_consensus=data.get("check_consensus", True),
+        )
+
+    def cache_key(self) -> str:
+        """A stable content hash identifying this cell's result.
+
+        The key covers every field that influences execution plus the
+        cache schema version — two requests with equal keys produce
+        byte-identical results, and a semantic change to any engine
+        must bump :data:`CACHE_SCHEMA_VERSION` to invalidate old
+        entries wholesale.
+        """
+        payload = {"v": CACHE_SCHEMA_VERSION, "request": self.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ExecutionResult:
+    """What one executed cell produced.
+
+    Attributes:
+        name: The request's cell label.
+        request_key: The producing request's :meth:`cache_key`.
+        events: The structured trace, recorded under the deterministic
+            logical clock (timestamps restart at 1.0 per cell, so the
+            trace is independent of which worker ran it).
+        metrics: The raw :meth:`~repro.obs.MetricsRegistry.state` of
+            the cell's metrics registry.
+        decisions: ``pid -> (round, value)`` for deciding processes.
+        latency: Rounds until all correct processes decided, ``None``
+            for incomplete runs.
+        num_rounds: Rounds the engine executed.
+        cached: True when this result was served from the on-disk
+            cache instead of executed (never serialized as True).
+    """
+
+    name: str
+    request_key: str
+    events: list[Event] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    decisions: dict[int, tuple[int, Any]] = field(default_factory=dict)
+    latency: int | None = None
+    num_rounds: int = 0
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "request_key": self.request_key,
+            "events": [event.to_dict() for event in self.events],
+            "metrics": self.metrics,
+            "decisions": {
+                str(pid): [entry[0], entry[1]]
+                for pid, entry in sorted(self.decisions.items())
+            },
+            "latency": self.latency,
+            "num_rounds": self.num_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionResult":
+        return cls(
+            name=data["name"],
+            request_key=data["request_key"],
+            events=[Event.from_dict(entry) for entry in data["events"]],
+            metrics=dict(data.get("metrics", {})),
+            decisions={
+                int(pid): (entry[0], entry[1])
+                for pid, entry in data.get("decisions", {}).items()
+            },
+            latency=data.get("latency"),
+            num_rounds=data.get("num_rounds", 0),
+        )

@@ -1,0 +1,325 @@
+"""Canonical enumeration of scenario spaces.
+
+The paper's quantitative statements — ``lat``/``Lat``/``Λ`` and the
+Theorem 5.2 gap — quantify over *sets of runs*.  A
+:class:`ScenarioSpace` reifies such a set as an ordered tuple of
+:class:`~repro.runtime.request.ExecutionRequest` cells, built three
+ways:
+
+* **explicit lists** — any caller-assembled requests;
+* **workload aliases** — the named scenarios of
+  :mod:`repro.workloads.scenarios` (plus the step-model emulation
+  cells), via :data:`SCENARIO_BUILDERS` and the registered spaces;
+* **seeded random streams** — ``random_scenario`` draws where every
+  cell gets a *derived* seed (a stable hash of the stream seed and the
+  cell index), so a stream is reproducible cell-by-cell and
+  independent of how cells are distributed over workers.
+
+Registered spaces (:func:`space_by_name`):
+
+* ``oracle-sweep`` — the chaos sweep behind ``tests/test_oracle_sweep``:
+  every named workload, randomized adversaries in both round models,
+  and both emulations.
+* ``e10-lambda`` — the E10 Λ sweep: every failure-free run (all binary
+  initial configurations) of the safe RWS algorithms and of A1 in RS;
+  the per-algorithm worst case over this space *is* ``Λ = Lat(A, 0)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.failures.pattern import FailurePattern
+from repro.rounds.enumeration import all_value_assignments, random_scenario
+from repro.rounds.scenario import FailureScenario
+from repro.runtime.request import ExecutionRequest
+from repro.workloads import (
+    a1_rws_disagreement,
+    adversarial_split,
+    crash_mid_broadcast,
+    decide_then_crash_pending,
+    failure_free,
+    floodset_rws_violation,
+    initially_dead_t,
+    unanimous,
+)
+
+#: The workload scenario aliases a space (or CLI flag) may name,
+#: mirroring :mod:`repro.workloads.scenarios`.  Each builder takes
+#: ``n`` and returns a :class:`FailureScenario`.
+SCENARIO_BUILDERS: dict[str, Callable[[int], FailureScenario]] = {
+    "failure-free": failure_free,
+    "initially-dead-t": lambda n: initially_dead_t(n, 1),
+    "crash-mid-broadcast": crash_mid_broadcast,
+    "decide-then-crash": decide_then_crash_pending,
+    "floodset-rws-violation": floodset_rws_violation,
+    "a1-rws-disagreement": a1_rws_disagreement,
+}
+
+
+def derived_seed(base: int, index: int) -> int:
+    """A deterministic per-cell seed from a stream seed and cell index.
+
+    Stable across Python versions and processes (unlike ``hash``), so
+    random streams shard over a pool without any seed bookkeeping.
+    """
+    digest = hashlib.sha256(f"{base}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """An ordered, immutable set of execution cells.
+
+    Order is semantic: merged sweep traces and aggregated metrics
+    follow space order, which is what makes parallel execution
+    byte-compatible with serial execution.
+    """
+
+    name: str
+    requests: tuple[ExecutionRequest, ...]
+
+    def __post_init__(self) -> None:
+        names = [request.name for request in self.requests]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ConfigurationError(
+                f"space {self.name!r} has duplicate cell names: "
+                f"{sorted(duplicates)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[ExecutionRequest]:
+        return iter(self.requests)
+
+    # -- builders -------------------------------------------------------------
+
+    @classmethod
+    def explicit(
+        cls, name: str, requests: Sequence[ExecutionRequest]
+    ) -> "ScenarioSpace":
+        return cls(name=name, requests=tuple(requests))
+
+    @classmethod
+    def random_rounds(
+        cls,
+        name: str,
+        *,
+        algorithm: str,
+        model: str,
+        n: int,
+        t: int = 1,
+        count: int = 25,
+        seed: int = 42,
+        max_round: int = 3,
+        max_rounds: int = 4,
+        check_consensus: bool = False,
+    ) -> "ScenarioSpace":
+        """A seeded stream of ``count`` randomized round-model cells.
+
+        Cell ``i`` draws its scenario from ``random_scenario`` seeded
+        with ``derived_seed(seed, i)`` — the stream's content depends
+        only on ``(seed, count)``, never on execution order.  Randomized
+        adversaries can legitimately break consensus for non-WS
+        algorithms in RWS, so consensus checking is off by default and
+        only the model invariants are enforced.
+        """
+        requests = []
+        for index in range(count):
+            rng = random.Random(derived_seed(seed, index))
+            scenario = random_scenario(
+                n,
+                t,
+                max_round=max_round,
+                allow_pending=(model == "RWS"),
+                rng=rng,
+            )
+            requests.append(
+                ExecutionRequest(
+                    name=f"{name}-{index:03d}",
+                    engine="rounds",
+                    algorithm=algorithm,
+                    values=adversarial_split(n),
+                    t=t,
+                    model=model,
+                    scenario=scenario,
+                    max_rounds=max_rounds,
+                    check_consensus=check_consensus,
+                )
+            )
+        return cls(name=name, requests=tuple(requests))
+
+
+# ---------------------------------------------------------------------------
+# Registered spaces
+# ---------------------------------------------------------------------------
+
+
+def _workload_cells() -> list[ExecutionRequest]:
+    """The named workload matrix (one cell per oracle-sweep workload)."""
+    n = 3
+    split = adversarial_split(n)
+    cells = [
+        ("failure-free-rs", "floodset", split, failure_free(n), "RS", False),
+        ("failure-free-rws", "floodset", split, failure_free(n), "RWS", False),
+        ("initially-dead", "f-opt", split, initially_dead_t(n, 1), "RS", False),
+        ("mid-broadcast-rs", "floodset", split, crash_mid_broadcast(n), "RS", False),
+        ("mid-broadcast-copt", "c-opt", unanimous(n), crash_mid_broadcast(n), "RS", False),
+        ("floodset-rws", "floodset", split, floodset_rws_violation(n), "RWS", True),
+        ("a1-rws", "a1", split, a1_rws_disagreement(n), "RWS", True),
+        # FloodSetWS *repairs* the decide-then-crash run: the oracle
+        # must not require a disagreement, only tolerate one (the cell
+        # exercises the adversary move, not a documented violation).
+        ("decide-then-crash", "floodset-ws", split, decide_then_crash_pending(n), "RWS", False),
+    ]
+    return [
+        ExecutionRequest(
+            name=name,
+            engine="rounds",
+            algorithm=algorithm,
+            values=values,
+            t=1,
+            model=model,
+            scenario=scenario,
+            max_rounds=4,
+            expect_disagreement=requires_disagreement,
+            check_consensus=(
+                requires_disagreement or name != "decide-then-crash"
+            ),
+        )
+        for name, algorithm, values, scenario, model, requires_disagreement in cells
+    ]
+
+
+def _emulation_cells() -> list[ExecutionRequest]:
+    """One cell per step-kernel emulation, seeds as in the oracle sweep."""
+    n = 3
+    return [
+        ExecutionRequest(
+            name="emulation-rs-on-ss",
+            engine="rs_on_ss",
+            algorithm="floodset",
+            values=adversarial_split(n),
+            t=1,
+            pattern=FailurePattern.with_crashes(n, {0: 7}),
+            max_rounds=3,
+            seed=3,
+            check_consensus=False,
+        ),
+        ExecutionRequest(
+            name="emulation-rws-on-sp",
+            engine="rws_on_sp",
+            algorithm="floodset",
+            values=adversarial_split(n),
+            t=1,
+            pattern=FailurePattern.with_crashes(n, {0: 5}),
+            max_rounds=2,
+            seed=11,
+            params=(
+                ("max_detection_delay", 2),
+                ("delivery_prob", 0.15),
+                ("max_age", 80),
+            ),
+            check_consensus=False,
+        ),
+    ]
+
+
+def oracle_sweep_space(count: int = 10, seed: int = 42) -> ScenarioSpace:
+    """The chaos sweep: workloads + random adversaries + emulations."""
+    requests = list(_workload_cells())
+    for model, stream_seed in (("RS", seed), ("RWS", seed + 1)):
+        stream = ScenarioSpace.random_rounds(
+            f"random-{model.lower()}",
+            algorithm="floodset",
+            model=model,
+            n=4,
+            count=count,
+            seed=stream_seed,
+            max_rounds=4,
+        )
+        requests.extend(stream.requests)
+    requests.extend(_emulation_cells())
+    return ScenarioSpace(name="oracle-sweep", requests=tuple(requests))
+
+
+def e10_lambda_space() -> ScenarioSpace:
+    """The E10 Λ sweep: all failure-free runs of the safe algorithms.
+
+    ``Λ(A) = Lat(A, 0)`` is the worst-case latency over failure-free
+    runs, quantified over every initial configuration.  This space is
+    exactly that run set for the three safe RWS algorithms (where the
+    paper proves ``Λ >= 2``) and for A1 in RS (where ``Λ = 1``).
+    """
+    n = 3
+    cells: list[ExecutionRequest] = []
+    algorithms = (
+        ("floodset-ws", "RWS"),
+        ("c-opt-ws", "RWS"),
+        ("f-opt-ws", "RWS"),
+        ("a1", "RS"),
+    )
+    for algorithm, model in algorithms:
+        for values in all_value_assignments(n):
+            tag = "".join(str(v) for v in values)
+            cells.append(
+                ExecutionRequest(
+                    name=f"{algorithm}-{model.lower()}-ff-{tag}",
+                    engine="rounds",
+                    algorithm=algorithm,
+                    values=values,
+                    t=1,
+                    model=model,
+                    scenario=failure_free(n),
+                    max_rounds=4,
+                )
+            )
+    return ScenarioSpace(name="e10-lambda", requests=tuple(cells))
+
+
+def random_space(
+    model: str, count: int = 25, seed: int = 42
+) -> ScenarioSpace:
+    """A pure random-adversary stream in one round model."""
+    return ScenarioSpace.random_rounds(
+        f"random-{model.lower()}",
+        algorithm="floodset",
+        model=model,
+        n=4,
+        count=count,
+        seed=seed,
+    )
+
+
+#: Name → factory taking ``(count, seed)`` keyword arguments where the
+#: space is stream-based; fixed spaces ignore them.
+SPACE_FACTORIES: dict[str, Callable[..., ScenarioSpace]] = {
+    "oracle-sweep": lambda count=10, seed=42: oracle_sweep_space(count, seed),
+    "e10-lambda": lambda count=10, seed=42: e10_lambda_space(),
+    "random-rs": lambda count=25, seed=42: random_space("RS", count, seed),
+    "random-rws": lambda count=25, seed=42: random_space("RWS", count, seed),
+}
+
+
+def space_by_name(
+    name: str, *, count: int | None = None, seed: int | None = None
+) -> ScenarioSpace:
+    """Build a registered space; unknown names raise with the catalogue."""
+    factory = SPACE_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario space {name!r}; choose from "
+            f"{sorted(SPACE_FACTORIES)}"
+        )
+    kwargs = {}
+    if count is not None:
+        kwargs["count"] = count
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

@@ -1,0 +1,322 @@
+"""Deterministic, parallel execution of scenario spaces.
+
+:class:`SweepRunner` takes a :class:`~repro.runtime.space.ScenarioSpace`
+and produces a :class:`SweepResult` with the same bytes whether it ran
+serially or across a ``multiprocessing`` pool, cold or cache-warm:
+
+* every cell is executed under a per-cell logical-clock event log
+  (timestamps restart at 1.0), so a cell's trace is independent of the
+  worker that ran it;
+* the merged sweep trace re-stamps events with one global logical
+  clock *in space order* — the only order-dependent step happens in
+  the parent, after all workers finished;
+* metrics states are folded in space order (counters add, histogram
+  samples extend), so aggregates match between ``jobs=1`` and
+  ``jobs=N``;
+* with a :class:`~repro.runtime.cache.ResultCache`, cells whose stable
+  request hash is already on disk are served without executing — a
+  repeated sweep executes zero scenarios.
+
+With ``check=True`` the PR-2 trace oracle runs over every produced
+trace: model invariants (detector axioms, round synchrony, ordering)
+must hold everywhere; consensus violations must appear exactly on the
+cells documented to disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.obs.check import check_events
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profiled
+from repro.runtime.cache import ResultCache
+from repro.runtime.harness import execute_request
+from repro.runtime.pool import parallel_map
+from repro.runtime.request import ExecutionRequest, ExecutionResult
+from repro.runtime.space import ScenarioSpace
+
+
+def _execute_cell(request: ExecutionRequest) -> ExecutionResult:
+    """Worker entry point: one cell, standard instrumentation."""
+    return execute_request(request)
+
+
+def check_model_for(request: ExecutionRequest) -> str | None:
+    """Which synchrony checker applies to a cell's trace.
+
+    The rounds engine checks its own model.  The SS emulation's trace
+    is step-level (no round-model synchrony claim to check, the
+    deadline arithmetic is validated by its dedicated checker), so only
+    the model-agnostic invariants run; the SP emulation lifts pending
+    messages into ``msg_withheld`` events and must satisfy weak round
+    synchrony.
+    """
+    if request.engine == "rounds":
+        return request.model
+    if request.engine == "rws_on_sp":
+        return "RWS"
+    return None
+
+
+@dataclass
+class CellCheck:
+    """The oracle's verdict on one cell's trace."""
+
+    name: str
+    ok: bool
+    model_errors: list[str] = field(default_factory=list)
+    consensus_violations: int = 0
+    expected_disagreement: bool = False
+
+    def describe(self) -> str:
+        if self.ok:
+            suffix = (
+                f" (documented disagreement reproduced, "
+                f"{self.consensus_violations} violation(s))"
+                if self.expected_disagreement
+                else ""
+            )
+            return f"{self.name}: ok{suffix}"
+        lines = [f"{self.name}: FAIL"]
+        lines.extend(f"  {problem}" for problem in self.model_errors)
+        if self.expected_disagreement and not self.consensus_violations:
+            lines.append("  expected disagreement did not appear")
+        if not self.expected_disagreement and self.consensus_violations:
+            lines.append(
+                f"  {self.consensus_violations} unexpected consensus "
+                "violation(s)"
+            )
+        return "\n".join(lines)
+
+
+def check_cell(
+    request: ExecutionRequest, result: ExecutionResult
+) -> CellCheck:
+    """Run the trace oracle over one cell's events."""
+    initial_values = (
+        request.values
+        if request.engine == "rounds" and request.check_consensus
+        else None
+    )
+    report = check_events(
+        result.events,
+        model=check_model_for(request),
+        initial_values=initial_values,
+    )
+    model_errors = [
+        violation.describe()
+        for violation in report.errors
+        if violation.checker != "consensus"
+    ]
+    consensus = sum(
+        1 for violation in report.errors if violation.checker == "consensus"
+    )
+    ok = not model_errors
+    if request.check_consensus:
+        if request.expect_disagreement:
+            ok = ok and consensus > 0
+        else:
+            ok = ok and consensus == 0
+    return CellCheck(
+        name=request.name,
+        ok=ok,
+        model_errors=model_errors,
+        consensus_violations=consensus,
+        expected_disagreement=request.expect_disagreement,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, in space order."""
+
+    space_name: str
+    requests: list[ExecutionRequest]
+    results: list[ExecutionResult]
+    executed: int
+    cached: int
+    metrics: MetricsRegistry
+    checks: list[CellCheck] | None = None
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def checks_ok(self) -> bool:
+        """True when checking ran and every cell passed."""
+        return self.checks is not None and all(c.ok for c in self.checks)
+
+    def merged_events(self) -> list[Event]:
+        """All cells' events, re-stamped with one global logical clock.
+
+        Concatenation follows space order and timestamps are assigned
+        after the fact, so the merged trace is byte-identical no matter
+        how many workers executed the cells (or how many came from the
+        cache).
+        """
+        merged: list[Event] = []
+        tick = 0
+        for result in self.results:
+            for event in result.events:
+                tick += 1
+                merged.append(replace(event, ts=float(tick)))
+        return merged
+
+    def merged_jsonl_lines(self) -> Iterable[str]:
+        for event in self.merged_events():
+            yield event.to_json()
+
+    def write_merged_jsonl(self, path: str) -> int:
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.merged_jsonl_lines():
+                handle.write(line)
+                handle.write("\n")
+                count += 1
+        return count
+
+    def latency_by_algorithm(self) -> dict[str, tuple[int | None, int | None]]:
+        """Per-algorithm ``(best, worst)`` decision latency over the space.
+
+        Over a failure-free space this is the paper's ``(lat(A, C*),
+        Λ(A))`` pair: ``Λ(A) = Lat(A, 0)`` is exactly the worst case
+        over the failure-free runs.  ``None`` appears when some cell
+        left a correct process undecided.
+        """
+        tally: dict[str, dict[str, Any]] = {}
+        for request, result in zip(self.requests, self.results):
+            entry = tally.setdefault(
+                request.algorithm,
+                {"best": None, "worst": 0, "incomplete": False},
+            )
+            if result.latency is None:
+                entry["incomplete"] = True
+            else:
+                entry["best"] = (
+                    result.latency
+                    if entry["best"] is None
+                    else min(entry["best"], result.latency)
+                )
+                entry["worst"] = max(entry["worst"], result.latency)
+        return {
+            name: (
+                entry["best"],
+                None if entry["incomplete"] else entry["worst"],
+            )
+            for name, entry in tally.items()
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"space '{self.space_name}': {self.total} scenarios; "
+            f"executed {self.executed}, cached {self.cached}"
+        ]
+        if self.checks is not None:
+            failed = [check for check in self.checks if not check.ok]
+            lines.append(
+                f"oracle: {self.total - len(failed)}/{self.total} cells clean"
+            )
+            lines.extend(check.describe() for check in failed)
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Execute a scenario space — serially or across a process pool.
+
+    Args:
+        jobs: Worker processes; ``1`` (default) runs in-process.
+        cache: A :class:`ResultCache`, a cache directory path, or
+            ``None`` to disable caching.
+        check: Run the trace oracle over every cell's trace.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | str | None = None,
+        check: bool = False,
+    ) -> None:
+        self.jobs = jobs
+        self.cache = (
+            ResultCache(cache)
+            if isinstance(cache, str)
+            else cache
+        )
+        self.check = check
+
+    def run(self, space: ScenarioSpace) -> SweepResult:
+        requests = list(space.requests)
+        results: list[ExecutionResult | None] = [None] * len(requests)
+
+        with profiled("runtime.sweep"):
+            # Cache phase: resolve hits in the parent so workers only
+            # ever see genuine work.
+            misses: list[int] = []
+            if self.cache is not None:
+                for index, request in enumerate(requests):
+                    hit = self.cache.get(request)
+                    if hit is not None:
+                        results[index] = hit
+                    else:
+                        misses.append(index)
+            else:
+                misses = list(range(len(requests)))
+
+            # Execute phase: fan the misses out, in space order.
+            with profiled("runtime.sweep.execute"):
+                fresh = parallel_map(
+                    _execute_cell,
+                    [requests[index] for index in misses],
+                    jobs=self.jobs,
+                )
+            for index, result in zip(misses, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(requests[index], result)
+
+        final: list[ExecutionResult] = [r for r in results if r is not None]
+        assert len(final) == len(requests)
+
+        # Aggregate phase: fold metrics in space order so the result is
+        # schedule-independent.
+        registry = MetricsRegistry()
+        for result in final:
+            registry.merge_state(result.metrics)
+        # Only schedule-independent facts may enter the aggregate:
+        # executed/cached counts live on the SweepResult, not in the
+        # registry, so a cache-warm re-run aggregates identically.
+        registry.counter("sweep.cells.total").inc(len(final))
+
+        checks = None
+        if self.check:
+            with profiled("runtime.sweep.check"):
+                checks = [
+                    check_cell(request, result)
+                    for request, result in zip(requests, final)
+                ]
+
+        return SweepResult(
+            space_name=space.name,
+            requests=requests,
+            results=final,
+            executed=len(misses),
+            cached=len(final) - len(misses),
+            metrics=registry,
+            checks=checks,
+        )
+
+
+def run_space(
+    space: ScenarioSpace,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | str | None = None,
+    check: bool = False,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(jobs=jobs, cache=cache, check=check).run(space)

@@ -19,6 +19,7 @@ from repro.analysis.latency import LatencyProfile
 from repro.commit.rates import CommitRateReport
 from repro.core.experiments import ExperimentResult
 from repro.errors import ConfigurationError
+from repro.failures.pattern import FailurePattern
 from repro.rounds.scenario import CrashEvent, FailureScenario, PendingMessage
 
 
@@ -85,6 +86,36 @@ def scenario_to_json(scenario: FailureScenario) -> str:
 
 def scenario_from_json(text: str) -> FailureScenario:
     return scenario_from_dict(json.loads(text))
+
+
+# -- failure patterns ---------------------------------------------------------
+
+
+def pattern_to_dict(pattern: FailurePattern) -> dict[str, Any]:
+    """A stable, JSON-ready form of a step-model failure pattern."""
+    return {
+        "n": pattern.n,
+        "crash_times": {
+            str(pid): time
+            for pid, time in sorted(pattern.crash_times.items())
+        },
+    }
+
+
+def pattern_from_dict(data: dict[str, Any]) -> FailurePattern:
+    """Inverse of :func:`pattern_to_dict`."""
+    try:
+        return FailurePattern(
+            n=data["n"],
+            crash_times={
+                int(pid): time
+                for pid, time in data.get("crash_times", {}).items()
+            },
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"pattern dict is missing the {missing} field"
+        ) from None
 
 
 # -- latency profiles ----------------------------------------------------------

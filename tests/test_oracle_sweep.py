@@ -1,12 +1,15 @@
 """Chaos-style sweep: the trace oracle over every workload scenario.
 
 The checkers are only worth trusting if the engines never trip them on
-legitimate runs.  This sweep executes every named workload scenario,
-a matrix of algorithms, randomized scenarios from the enumeration
-sampler, and both emulation engines — and runs the full checker suite
-(plus replay, where the model allows it) over each trace.  Model
-invariants must always hold; only consensus may break, and only on the
-scenarios documented to break it.
+legitimate runs.  Since PR 3 the sweep itself lives in the unified
+runtime: :func:`repro.runtime.oracle_sweep_space` enumerates every
+named workload, randomized adversaries in both round models, and both
+emulation engines; :class:`repro.runtime.SweepRunner` with
+``check=True`` runs the full checker suite over each produced trace.
+Model invariants must always hold; only consensus may break, and only
+on the cells documented to break it.  Replay coverage (byte-for-byte
+re-execution and scenario reconstruction) stays here, driven off the
+runtime's results.
 """
 
 from __future__ import annotations
@@ -15,125 +18,79 @@ import random
 
 import pytest
 
-from repro.consensus import (
-    A1,
-    COptFloodSet,
-    FloodSet,
-    FloodSetWS,
-    FOptFloodSet,
-)
-from repro.failures import FailurePattern
+from repro.consensus import FloodSet
 from repro.obs import (
     EventLog,
-    check_events,
     logical_clock,
     reconstruct_scenario,
     replay_events,
 )
-from repro.rounds import RoundModel, run_rs, run_rws
+from repro.rounds import run_rws
 from repro.rounds.enumeration import random_scenario
-from repro.workloads import (
-    a1_rws_disagreement,
-    adversarial_split,
-    crash_mid_broadcast,
-    decide_then_crash_pending,
-    failure_free,
-    floodset_rws_violation,
-    initially_dead_t,
-    unanimous,
+from repro.runtime import (
+    SweepRunner,
+    execute_request,
+    make_algorithm,
+    oracle_sweep_space,
 )
+from repro.workloads import adversarial_split
 
-#: (name, algorithm factory, values, scenario, model)
-WORKLOADS = [
-    ("failure-free-rs", FloodSet, adversarial_split(3), failure_free(3), RoundModel.RS),
-    ("failure-free-rws", FloodSet, adversarial_split(3), failure_free(3), RoundModel.RWS),
-    ("initially-dead", FOptFloodSet, adversarial_split(3), initially_dead_t(3, 1), RoundModel.RS),
-    ("mid-broadcast-rs", FloodSet, adversarial_split(3), crash_mid_broadcast(3), RoundModel.RS),
-    ("mid-broadcast-copt", COptFloodSet, unanimous(3), crash_mid_broadcast(3), RoundModel.RS),
-    ("floodset-rws", FloodSet, adversarial_split(3), floodset_rws_violation(3), RoundModel.RWS),
-    ("a1-rws", A1, adversarial_split(3), a1_rws_disagreement(3), RoundModel.RWS),
-    ("decide-then-crash", FloodSetWS, adversarial_split(3), decide_then_crash_pending(3), RoundModel.RWS),
+SPACE = oracle_sweep_space()
+
+#: The named workload cells (round engine, one per legacy WORKLOAD).
+WORKLOAD_REQUESTS = [
+    request
+    for request in SPACE
+    if request.engine == "rounds" and not request.name.startswith("random-")
 ]
 
-#: Workloads where a consensus violation is the documented outcome.
-MAY_DISAGREE = {"floodset-rws", "a1-rws", "decide-then-crash"}
+
+class TestOracleSweepSpace:
+    def test_space_covers_workloads_streams_and_emulations(self):
+        names = [request.name for request in SPACE]
+        assert len(names) == len(set(names))
+        assert len(WORKLOAD_REQUESTS) == 8
+        assert sum(1 for n in names if n.startswith("random-rs-")) == 10
+        assert sum(1 for n in names if n.startswith("random-rws-")) == 10
+        assert "emulation-rs-on-ss" in names
+        assert "emulation-rws-on-sp" in names
+
+    def test_full_sweep_passes_oracle(self):
+        result = SweepRunner(check=True).run(SPACE)
+        assert result.total == len(SPACE)
+        assert result.checks_ok, result.describe()
+
+    def test_documented_disagreements_reproduced(self):
+        result = SweepRunner(check=True).run(SPACE)
+        by_name = {check.name: check for check in result.checks}
+        for name in ("floodset-rws", "a1-rws"):
+            check = by_name[name]
+            assert check.expected_disagreement
+            assert check.consensus_violations > 0, check.describe()
 
 
-def _run_and_check(name, algorithm, values, scenario, model):
-    log = EventLog(clock=logical_clock())
-    runner = run_rws if model is RoundModel.RWS else run_rs
-    runner(algorithm, values, scenario, t=1, max_rounds=4, observer=log)
-    report = check_events(
-        log.events, model=model.value, initial_values=values
+class TestWorkloadReplay:
+    @pytest.mark.parametrize(
+        "request_",
+        WORKLOAD_REQUESTS,
+        ids=[request.name for request in WORKLOAD_REQUESTS],
     )
-    model_errors = [v for v in report.errors if v.checker != "consensus"]
-    assert model_errors == [], f"{name}: {[v.describe() for v in model_errors]}"
-    consensus = [v for v in report.errors if v.checker == "consensus"]
-    if name not in MAY_DISAGREE:
-        assert consensus == [], (
-            f"{name}: {[v.describe() for v in consensus]}"
+    def test_scenario_replays_byte_for_byte(self, request_):
+        result = execute_request(request_)
+        report = replay_events(
+            make_algorithm(request_.algorithm),
+            request_.values,
+            result.events,
+            t=1,
         )
-    return log
-
-
-class TestWorkloadSweep:
-    @pytest.mark.parametrize(
-        "name,factory,values,scenario,model",
-        WORKLOADS,
-        ids=[w[0] for w in WORKLOADS],
-    )
-    def test_scenario_passes_oracle(self, name, factory, values, scenario, model):
-        _run_and_check(name, factory(), values, scenario, model)
-
-    @pytest.mark.parametrize(
-        "name,factory,values,scenario,model",
-        WORKLOADS,
-        ids=[w[0] for w in WORKLOADS],
-    )
-    def test_scenario_replays_byte_for_byte(
-        self, name, factory, values, scenario, model
-    ):
-        log = _run_and_check(name, factory(), values, scenario, model)
-        report = replay_events(factory(), values, log.events, t=1)
         assert report.exact, report.describe()
 
 
 class TestRandomScenarioSweep:
-    """Randomized adversaries: the oracle must accept whatever the
-    validated sampler produces, and replay must reproduce it."""
-
-    @pytest.mark.parametrize("model", [RoundModel.RS, RoundModel.RWS])
-    def test_random_scenarios_pass_model_invariants(self, model):
-        rng = random.Random(42)
-        for trial in range(25):
-            scenario = random_scenario(
-                4,
-                1,
-                max_round=3,
-                allow_pending=(model is RoundModel.RWS),
-                rng=rng,
-            )
-            # a pending message in round k obliges a crash by round
-            # k + 1, so the horizon must extend one round past the
-            # sampler's max_round
-            log = EventLog(clock=logical_clock())
-            runner = run_rws if model is RoundModel.RWS else run_rs
-            runner(
-                FloodSet(),
-                adversarial_split(4),
-                scenario,
-                t=1,
-                max_rounds=4,
-                observer=log,
-            )
-            report = check_events(log.events, model=model.value)
-            model_errors = [
-                v for v in report.errors if v.checker != "consensus"
-            ]
-            assert model_errors == [], (
-                f"trial {trial} {scenario.describe()}: "
-                f"{[v.describe() for v in model_errors]}"
-            )
+    """Randomized adversaries: reconstruction and replay must reproduce
+    whatever the validated sampler drives the engine through.  (The
+    model-invariant coverage for random streams now runs inside the
+    checked sweep above.)"""
 
     def test_random_scenarios_reconstruct_and_replay(self):
         rng = random.Random(7)
@@ -160,43 +117,3 @@ class TestRandomScenarioSweep:
                 FloodSet(), adversarial_split(3), log.events, t=1
             )
             assert report.exact, f"trial {trial}: {report.describe()}"
-
-
-class TestEmulationSweep:
-    """Lifted emulation traces must satisfy the step-level invariants."""
-
-    def test_rs_on_ss_trace_passes_oracle(self):
-        from repro.emulation import emulate_rs_on_ss
-
-        log = EventLog(clock=logical_clock())
-        emulate_rs_on_ss(
-            FloodSet(),
-            adversarial_split(3),
-            FailurePattern.with_crashes(3, {0: 7}),
-            t=1,
-            rng=random.Random(3),
-            observer=log,
-        )
-        report = check_events(log.events, model=None)
-        model_errors = [v for v in report.errors if v.checker != "consensus"]
-        assert model_errors == [], [v.describe() for v in model_errors]
-
-    def test_rws_on_sp_trace_passes_oracle(self):
-        from repro.emulation import emulate_rws_on_sp
-
-        log = EventLog(clock=logical_clock())
-        emulate_rws_on_sp(
-            FloodSet(),
-            adversarial_split(3),
-            FailurePattern.with_crashes(3, {0: 5}),
-            t=1,
-            num_rounds=2,
-            rng=random.Random(11),
-            max_detection_delay=2,
-            delivery_prob=0.15,
-            max_age=80,
-            observer=log,
-        )
-        report = check_events(log.events, model="RWS")
-        model_errors = [v for v in report.errors if v.checker != "consensus"]
-        assert model_errors == [], [v.describe() for v in model_errors]

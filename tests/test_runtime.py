@@ -1,0 +1,284 @@
+"""The unified execution runtime: requests, harnesses, spaces, sweeps.
+
+The determinism contract under test is the PR's headline: the same
+scenario space produces *byte-identical* merged JSONL traces and equal
+metrics aggregates whether it runs serially (``jobs=1``), across a
+process pool (``jobs=4``), or cache-warm — across both the round
+engines and the step-model emulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import FailurePattern
+from repro.runtime import (
+    ExecutionRequest,
+    ExecutionResult,
+    ResultCache,
+    ScenarioSpace,
+    SweepRunner,
+    derived_seed,
+    e10_lambda_space,
+    execute_request,
+    harness_for,
+    make_algorithm,
+    oracle_sweep_space,
+    parallel_map,
+    run_space,
+    space_by_name,
+)
+from repro.workloads import adversarial_split, failure_free
+
+
+def _round_request(name="cell", **overrides):
+    defaults = dict(
+        name=name,
+        engine="rounds",
+        algorithm="floodset",
+        values=adversarial_split(3),
+        t=1,
+        model="RS",
+        scenario=failure_free(3),
+        max_rounds=4,
+    )
+    defaults.update(overrides)
+    return ExecutionRequest(**defaults)
+
+
+def _emulation_request(engine="rs_on_ss"):
+    params = (
+        ()
+        if engine == "rs_on_ss"
+        else (
+            ("max_detection_delay", 2),
+            ("delivery_prob", 0.15),
+            ("max_age", 80),
+        )
+    )
+    return ExecutionRequest(
+        name=f"emu-{engine}",
+        engine=engine,
+        algorithm="floodset",
+        values=adversarial_split(3),
+        t=1,
+        pattern=FailurePattern.with_crashes(3, {0: 7}),
+        max_rounds=2,
+        seed=3,
+        params=params,
+        check_consensus=False,
+    )
+
+
+class TestExecutionRequest:
+    def test_round_trip_through_dict(self):
+        request = _round_request()
+        assert ExecutionRequest.from_dict(request.to_dict()) == request
+
+    def test_emulation_round_trip_through_dict(self):
+        request = _emulation_request("rws_on_sp")
+        assert ExecutionRequest.from_dict(request.to_dict()) == request
+
+    def test_cache_key_is_stable_and_content_sensitive(self):
+        a, b = _round_request(), _round_request()
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != _round_request(model="RWS").cache_key()
+        assert a.cache_key() != _round_request(max_rounds=5).cache_key()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _round_request(engine="warp")
+
+    def test_rounds_requires_scenario_and_model(self):
+        with pytest.raises(ConfigurationError):
+            _round_request(scenario=None)
+        with pytest.raises(ConfigurationError):
+            _round_request(model=None)
+
+    def test_emulation_requires_pattern(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionRequest(
+                name="bad",
+                engine="rs_on_ss",
+                algorithm="floodset",
+                values=(0, 1, 1),
+                pattern=None,
+            )
+
+    def test_unknown_algorithm_rejected_at_execution(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("quantum-floodset")
+
+
+class TestHarnesses:
+    @pytest.mark.parametrize("engine", ["rounds", "rs_on_ss", "rws_on_sp"])
+    def test_harness_selected_by_engine(self, engine):
+        assert harness_for(engine).engine == engine
+
+    def test_round_execution_decides(self):
+        result = execute_request(_round_request())
+        assert result.decisions
+        assert result.latency is not None
+        assert result.events
+        assert result.metrics["counters"]
+
+    def test_execution_is_deterministic(self):
+        a = execute_request(_round_request())
+        b = execute_request(_round_request())
+        assert [e.to_json() for e in a.events] == [
+            e.to_json() for e in b.events
+        ]
+        assert a.metrics == b.metrics
+
+    @pytest.mark.parametrize("engine", ["rs_on_ss", "rws_on_sp"])
+    def test_emulation_execution_produces_trace(self, engine):
+        result = execute_request(_emulation_request(engine))
+        assert result.events
+        assert result.num_rounds >= 1
+
+    def test_result_round_trips_through_dict(self):
+        result = execute_request(_round_request())
+        rebuilt = ExecutionResult.from_dict(result.to_dict())
+        assert [e.to_json() for e in rebuilt.events] == [
+            e.to_json() for e in result.events
+        ]
+        assert rebuilt.decisions == result.decisions
+        assert rebuilt.metrics == result.metrics
+
+
+class TestScenarioSpace:
+    def test_duplicate_cell_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpace.explicit(
+                "dup", [_round_request("same"), _round_request("same")]
+            )
+
+    def test_derived_seeds_are_stable_and_distinct(self):
+        assert derived_seed(42, 0) == derived_seed(42, 0)
+        assert derived_seed(42, 0) != derived_seed(42, 1)
+        assert derived_seed(42, 0) != derived_seed(43, 0)
+
+    def test_random_stream_depends_only_on_seed_and_index(self):
+        a = ScenarioSpace.random_rounds(
+            "s", algorithm="floodset", model="RWS", n=4, count=5, seed=9
+        )
+        b = ScenarioSpace.random_rounds(
+            "s", algorithm="floodset", model="RWS", n=4, count=5, seed=9
+        )
+        assert [r.cache_key() for r in a] == [r.cache_key() for r in b]
+        c = ScenarioSpace.random_rounds(
+            "s", algorithm="floodset", model="RWS", n=4, count=5, seed=10
+        )
+        assert [r.cache_key() for r in a] != [r.cache_key() for r in c]
+
+    def test_space_by_name_catalogue(self):
+        assert len(space_by_name("oracle-sweep", count=2)) == 14
+        with pytest.raises(ConfigurationError):
+            space_by_name("no-such-space")
+
+
+class TestSweepDeterminism:
+    """jobs=1 and jobs=4 must be byte-identical, for every engine."""
+
+    @pytest.fixture(scope="class")
+    def space(self):
+        # Round cells (RS + RWS streams + workloads) *and* both
+        # emulation engines: the full oracle-sweep space, small streams.
+        return oracle_sweep_space(count=3)
+
+    def test_parallel_matches_serial_byte_for_byte(self, space):
+        serial = SweepRunner(jobs=1).run(space)
+        parallel = SweepRunner(jobs=4).run(space)
+        assert list(serial.merged_jsonl_lines()) == list(
+            parallel.merged_jsonl_lines()
+        )
+        assert serial.metrics.state() == parallel.metrics.state()
+
+    def test_parallel_matches_serial_for_step_engines(self):
+        space = ScenarioSpace.explicit(
+            "emulations",
+            [_emulation_request("rs_on_ss"), _emulation_request("rws_on_sp")],
+        )
+        serial = run_space(space, jobs=1)
+        parallel = run_space(space, jobs=4)
+        assert list(serial.merged_jsonl_lines()) == list(
+            parallel.merged_jsonl_lines()
+        )
+        assert serial.metrics.state() == parallel.metrics.state()
+
+    def test_merged_trace_timestamps_are_globally_monotonic(self, space):
+        events = SweepRunner(jobs=4).run(space).merged_events()
+        timestamps = [event.ts for event in events]
+        assert timestamps == [float(i) for i in range(1, len(events) + 1)]
+
+
+class TestResultCache:
+    def test_second_run_executes_nothing_and_matches(self, tmp_path):
+        space = oracle_sweep_space(count=2)
+        cache_dir = str(tmp_path / "cache")
+        cold = SweepRunner(jobs=1, cache=cache_dir).run(space)
+        warm = SweepRunner(jobs=1, cache=cache_dir).run(space)
+        assert cold.executed == cold.total and cold.cached == 0
+        assert warm.executed == 0 and warm.cached == warm.total
+        assert list(cold.merged_jsonl_lines()) == list(
+            warm.merged_jsonl_lines()
+        )
+        assert cold.metrics.state() == warm.metrics.state()
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        space = oracle_sweep_space(count=2)
+        cache_dir = str(tmp_path / "cache")
+        SweepRunner(jobs=4, cache=cache_dir).run(space)
+        warm = SweepRunner(jobs=1, cache=cache_dir).run(space)
+        assert warm.executed == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        request = _round_request()
+        cache.put(request, execute_request(request))
+        assert len(cache) == 1
+        for entry in tmp_path.iterdir():
+            entry.write_text("not json", encoding="utf-8")
+        assert cache.get(request) is None
+
+
+class TestCheckedSweep:
+    def test_checked_sweep_flags_expected_disagreements(self):
+        result = run_space(oracle_sweep_space(count=2), check=True)
+        assert result.checks_ok, result.describe()
+        summary = result.describe()
+        assert "executed" in summary and "cached" in summary
+
+    def test_unchecked_sweep_has_no_verdicts(self):
+        result = run_space(oracle_sweep_space(count=2))
+        assert result.checks is None
+        assert not result.checks_ok
+
+
+class TestE10LambdaSpace:
+    def test_latency_matches_theorem_5_2(self):
+        result = run_space(e10_lambda_space(), check=True)
+        assert result.checks_ok, result.describe()
+        latency = result.latency_by_algorithm()
+        # Λ = worst-case failure-free latency: >= 2 for every safe RWS
+        # algorithm, exactly 1 for A1 in RS (Theorem 5.2's gap).
+        for name in ("floodset-ws", "c-opt-ws", "f-opt-ws"):
+            best, worst = latency[name]
+            assert worst is not None and worst >= 2, (name, latency[name])
+        assert latency["a1"] == (1, 1)
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=4
+        )
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+def _square(x):
+    return x * x
