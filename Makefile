@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,17 @@ test:
 
 test-fast:
 	PYTHONPATH=src pytest tests/ -m "not slow"
+
+# Tier-1 with line coverage; fails below the floor.  Needs pytest-cov
+# (CI installs it; `pip install pytest-cov` locally).
+COVERAGE_FLOOR ?= 75
+
+coverage:
+	@PYTHONPATH=src python -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run: pip install pytest-cov"; exit 1; }
+	PYTHONPATH=src pytest tests/ -q \
+		--cov=repro --cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(COVERAGE_FLOOR)
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -48,6 +59,20 @@ sweep-smoke:
 		--cache-dir $(SWEEP_SMOKE_CACHE)
 	PYTHONPATH=src python -m repro sweep oracle-sweep --count 2 --check \
 		--cache-dir $(SWEEP_SMOKE_CACHE) | tee /dev/stderr | grep -q "executed 0,"
+
+FUZZ_SMOKE_CACHE ?= /tmp/repro_fuzz_smoke_cache
+
+# The CI fuzzing campaign: >= 100 generated scenarios per emulation
+# pair (differential twins on every one), plus a rounds-only stream
+# and an all-engine round-robin exercising the parallel + cached path
+# with both batch parity oracles.
+fuzz-smoke:
+	rm -rf $(FUZZ_SMOKE_CACHE)
+	PYTHONPATH=src python -m repro fuzz --budget 120 --seed 0 --engine rs_on_ss
+	PYTHONPATH=src python -m repro fuzz --budget 120 --seed 0 --engine rws_on_sp
+	PYTHONPATH=src python -m repro fuzz --budget 100 --seed 0 --engine rounds
+	PYTHONPATH=src python -m repro fuzz --budget 200 --seed 1 --jobs 2 \
+		--cache-dir $(FUZZ_SMOKE_CACHE)
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -81,6 +81,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.repro:
+        return _replay_counterexample(args.repro)
+    if args.scenario is None or args.trace is None:
+        print(
+            "error: provide a scenario name and a trace file "
+            "(or --repro FILE)",
+            file=sys.stderr,
+        )
+        return 2
     entry = resolve_scenario(args.scenario)
     if entry is None:
         return unknown_scenario(args.scenario)
@@ -99,6 +108,43 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"{args.scenario}: {blurb}")
     print(report.describe())
     return 0 if report.matches else 1
+
+
+def _replay_counterexample(path: str) -> int:
+    """Re-execute a ``repro fuzz`` counterexample file.
+
+    Exit 0 when the stored failure reproduces (the file is a faithful
+    counterexample), 1 when the run is now clean — e.g. the bug was
+    fixed, or the recorded injection is no longer active.
+    """
+    from repro.errors import ConfigurationError
+    from repro.fuzz import load_counterexample, run_case
+    from repro.inject import INJECT_ENV, active_injection
+
+    try:
+        request, document = load_counterexample(path)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorded = document.get("injected_bug")
+    if recorded != active_injection():
+        print(
+            f"note: counterexample was found with {INJECT_ENV}="
+            f"{recorded or '<unset>'}, current is "
+            f"{active_injection() or '<unset>'}"
+        )
+    print(
+        f"{path}: case {request.name} "
+        f"({request.engine}/{request.algorithm}, n={request.n})"
+    )
+    failures = run_case(request)
+    if failures:
+        print("counterexample reproduces:")
+        for failure in failures:
+            print(failure.describe())
+        return 0
+    print("run is clean: the recorded failure no longer reproduces")
+    return 1
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -194,9 +240,22 @@ def register(sub: argparse._SubParsersAction) -> None:
         "replay",
         help="re-execute an exported trace and assert event equality",
     )
-    p_replay.add_argument("scenario", help=f"one of {sorted(SCENARIOS)}")
     p_replay.add_argument(
-        "trace", metavar="TRACE.jsonl", help="trace exported by `repro trace`"
+        "scenario", nargs="?", help=f"one of {sorted(SCENARIOS)}"
+    )
+    p_replay.add_argument(
+        "trace",
+        nargs="?",
+        metavar="TRACE.jsonl",
+        help="trace exported by `repro trace`",
+    )
+    p_replay.add_argument(
+        "--repro",
+        metavar="FILE",
+        help=(
+            "re-execute a counterexample emitted by `repro fuzz --out` "
+            "and report whether the failure reproduces"
+        ),
     )
     p_replay.set_defaults(func=_cmd_replay)
 

@@ -1,0 +1,106 @@
+"""``repro fuzz``: the differential fuzzing campaign from a shell.
+
+Generates a deterministic stream of random cases, runs them through the
+unified runtime (parallel, cached), cross-checks every result with the
+differential oracles, and shrinks any failure to a minimal, replayable
+counterexample (``repro replay --repro FILE`` re-executes it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+from repro.fuzz import FUZZ_ENGINES, run_campaign
+from repro.inject import INJECT_ENV, KNOWN_INJECTIONS, active_injection
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    injected = active_injection()
+    if injected is not None and injected not in KNOWN_INJECTIONS:
+        print(
+            f"error: {INJECT_ENV}={injected!r} is not a registered "
+            f"injection; choose from {sorted(KNOWN_INJECTIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_campaign(
+            budget=args.budget,
+            seed=args.seed,
+            engines=args.engine or ("all",),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            out_dir=args.out,
+            shrink_failures=not args.no_shrink,
+            max_n=args.max_n,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across the engines, with shrinking",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of generated cases (default: 100)",
+    )
+    p_fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="stream seed; cases depend only on (seed, index)",
+    )
+    p_fuzz.add_argument(
+        "--engine",
+        action="append",
+        choices=("all", "rounds") + FUZZ_ENGINES,
+        help=(
+            "engine(s) to round-robin (repeatable; default: all; "
+            "'rounds' = rounds-rs + rounds-rws)"
+        ),
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the execution sweep (default: 1)",
+    )
+    p_fuzz.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "result cache; also enables the cold-vs-warm cache parity "
+            "oracle"
+        ),
+    )
+    p_fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write one replayable JSON per counterexample to DIR",
+    )
+    p_fuzz.add_argument(
+        "--max-n",
+        type=int,
+        default=4,
+        metavar="N",
+        help="largest system size to generate (default: 4)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without delta-debugging them",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)

@@ -11,6 +11,8 @@ module under :mod:`repro.cli` and registers itself via ``register``:
   (deterministic re-execution), ``diff`` (divergence / Theorem 3.1).
 * :mod:`repro.cli.sweep` — ``sweep SPACE`` (parallel, cached, checked
   scenario-space execution through the unified runtime).
+* :mod:`repro.cli.fuzz` — ``fuzz`` (differential fuzzing across the
+  engines, with counterexample shrinking).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import Sequence
 
 from repro.cli import check as _check
 from repro.cli import experiments as _experiments
+from repro.cli import fuzz as _fuzz
 from repro.cli import show as _show
 from repro.cli import sweep as _sweep
 from repro.cli import trace as _trace
@@ -44,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (_experiments, _show, _trace, _check, _sweep):
+    for module in (_experiments, _show, _trace, _check, _sweep, _fuzz):
         module.register(sub)
     return parser
 

@@ -39,6 +39,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
 from repro.failures.pattern import FailurePattern
+from repro.inject import active_injection
 from repro.models.ss import SSScheduler
 from repro.obs.events import Observer
 from repro.obs.profile import profiled
@@ -195,6 +196,19 @@ class RoundOnSSAutomaton(StepAutomaton):
         received = dict(state.inbox.get(state.round, {}))
         if state.self_payload is not None:
             received[pid] = state.self_payload
+        if (
+            active_injection() == "ss-drop-received"
+            and len(received) < self.n
+        ):
+            # Mutation-testing hook (REPRO_INJECT_BUG=ss-drop-received):
+            # when a crash left this round's vector incomplete, also
+            # drop the lowest-pid peer message that did arrive.  The
+            # rounds engine never does this, so the differential fuzzer
+            # must flag every run where the mutation fires.
+            for sender in sorted(received):
+                if sender != pid:
+                    del received[sender]
+                    break
         algo_state = self.algorithm.transition(pid, state.algo_state, received)
         decision_round = state.decision_round
         if (
@@ -296,8 +310,12 @@ def emulate_rs_on_ss(
         for pid, entry in sorted(decisions.items()):
             if entry is not None:
                 observer.decide(pid, entry[1], entry[0])
+        # Halt is graceful termination: a pattern-faulty process never
+        # halts in the lifted round-level view, even when its crash time
+        # falls after it completed the round horizon (the kernel's crash
+        # event is already in the trace and would contradict a halt).
         for pid in range(n):
-            if run.final_states[pid].finished:
+            if pid in pattern.correct and run.final_states[pid].finished:
                 observer.halt(pid, completed[pid])
     return EmulatedRoundTrace(
         n=n,

@@ -259,8 +259,12 @@ def emulate_rws_on_sp(
         # check_emulated_weak_round_synchrony, which sees crash times).
         for sender, recipient, round_index in sorted(_pending_triples(trace)):
             observer.msg_withheld(sender, recipient, round_index)
+        # Halt is graceful termination: a pattern-faulty process never
+        # halts in the lifted round-level view, even when its crash time
+        # falls after it completed the round horizon (the kernel's crash
+        # event is already in the trace and would contradict a halt).
         for pid in range(n):
-            if run.final_states[pid].finished:
+            if pid in pattern.correct and run.final_states[pid].finished:
                 observer.halt(pid, completed[pid])
     return trace
 

@@ -1,0 +1,73 @@
+"""Differential fuzzing across all four engines (``repro fuzz``).
+
+The repo runs the same algorithms four ways — the RS and RWS round
+executor and the two Section-4 step-kernel emulations — and the paper's
+central claim is that these agree.  This package makes that claim a
+*fuzzable* property:
+
+* :mod:`repro.fuzz.strategies` — seed-stable case generators, plus
+  Hypothesis strategies over :class:`FailurePattern` /
+  :class:`FailureScenario` / workload configurations (optional
+  dependency);
+* :mod:`repro.fuzz.oracles` — the per-case differential oracles
+  (trace-check, emulation↔rounds twin, byte-exact replay);
+* :mod:`repro.fuzz.shrink` — delta-debugging reduction of failing
+  cases to minimal counterexamples;
+* :mod:`repro.fuzz.campaign` — the campaign driver behind the
+  ``repro fuzz`` CLI, including the batch jobs/cache parity oracles
+  and replayable counterexample JSON.
+"""
+
+from repro.fuzz.campaign import (
+    Counterexample,
+    FuzzReport,
+    generate_cases,
+    load_counterexample,
+    resolve_engines,
+    run_campaign,
+)
+from repro.fuzz.oracles import (
+    OracleFailure,
+    case_failures,
+    check_oracle,
+    replay_oracle,
+    run_case,
+    twin_oracle,
+    twin_request,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink, shrink_moves
+from repro.fuzz.strategies import (
+    FUZZ_ENGINES,
+    SAFE_ALGORITHMS,
+    case_rng,
+    generate_case,
+    generate_pattern,
+    generate_scenario,
+    generate_values,
+)
+
+__all__ = [
+    "Counterexample",
+    "FuzzReport",
+    "FUZZ_ENGINES",
+    "OracleFailure",
+    "SAFE_ALGORITHMS",
+    "ShrinkResult",
+    "case_failures",
+    "case_rng",
+    "check_oracle",
+    "generate_case",
+    "generate_cases",
+    "generate_pattern",
+    "generate_scenario",
+    "generate_values",
+    "load_counterexample",
+    "replay_oracle",
+    "resolve_engines",
+    "run_campaign",
+    "run_case",
+    "shrink",
+    "shrink_moves",
+    "twin_oracle",
+    "twin_request",
+]

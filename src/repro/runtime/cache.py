@@ -6,8 +6,10 @@ sweeps (CI re-runs, ``make bench-report``, iterating on an analysis)
 skip every cell whose request hash they have seen before — the second
 run of an unchanged sweep executes zero scenarios.
 
-Corrupt or unreadable entries are treated as misses (and re-written),
-never as errors: a cache must only ever make things faster.
+Corrupt or unreadable entries are treated as misses, never as errors: a
+cache must only ever make things faster.  A corrupt entry is also
+*evicted* on read — leaving it on disk would let ``__len__`` (and the
+cache directory's size) count entries that can never serve a hit.
 """
 
 from __future__ import annotations
@@ -31,13 +33,25 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def get(self, request: ExecutionRequest) -> ExecutionResult | None:
-        """The cached result for ``request``, or ``None`` on a miss."""
+        """The cached result for ``request``, or ``None`` on a miss.
+
+        A present-but-unreadable entry (truncated write, foreign junk,
+        stale schema) is deleted before reporting the miss: the slot is
+        about to be re-written anyway, and keeping the corpse would make
+        ``len(cache)`` overcount.
+        """
         path = self._path(request.cache_key())
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
             result = ExecutionResult.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         result.cached = True
         return result

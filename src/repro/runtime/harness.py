@@ -53,6 +53,10 @@ class Harness(Protocol):
         """``(decisions, latency, num_rounds)`` of a native run."""
         ...
 
+    def extras(self, run: Any) -> dict[str, Any]:
+        """Engine-specific structured facts for ``ExecutionResult.extra``."""
+        ...
+
 
 class RoundHarness:
     """The RS/RWS round executor behind the uniform interface."""
@@ -75,6 +79,24 @@ class RoundHarness:
 
     def summarize(self, run: Any):
         return dict(run.decisions), run.latency(), run.num_rounds
+
+    def extras(self, run: Any) -> dict[str, Any]:
+        return {}
+
+
+def _emulation_extras(trace: Any) -> dict[str, Any]:
+    """The induced round scenario of an emulated trace, serialized.
+
+    Computed once at execution time (the native trace with its step run
+    is available only here) and carried on the result, so differential
+    consumers — the fuzzer's emulation↔rounds oracles — can build the
+    rounds-engine twin of an emulation cell from the cached result
+    alone.
+    """
+    from repro.emulation.induce import induced_scenario
+    from repro.serialize import scenario_to_dict
+
+    return {"induced_scenario": scenario_to_dict(induced_scenario(trace))}
 
 
 def _emulation_summary(trace: Any) -> tuple[dict[int, tuple[int, Any]], int | None, int]:
@@ -117,6 +139,9 @@ class SSEmulationHarness:
     def summarize(self, trace: Any):
         return _emulation_summary(trace)
 
+    def extras(self, trace: Any) -> dict[str, Any]:
+        return _emulation_extras(trace)
+
 
 class SPEmulationHarness:
     """RWS emulated on the SP step kernel (Section 4.2)."""
@@ -139,6 +164,9 @@ class SPEmulationHarness:
 
     def summarize(self, trace: Any):
         return _emulation_summary(trace)
+
+    def extras(self, trace: Any) -> dict[str, Any]:
+        return _emulation_extras(trace)
 
 
 #: Engine name → harness singleton.  Harnesses are stateless, so one
@@ -185,4 +213,5 @@ def execute_request(
         decisions=decisions,
         latency=latency,
         num_rounds=num_rounds,
+        extra=harness.extras(run),
     )

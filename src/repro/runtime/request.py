@@ -26,6 +26,7 @@ from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.failures.pattern import FailurePattern
+from repro.inject import active_injection
 from repro.obs.events import Event
 from repro.rounds.scenario import FailureScenario
 from repro.serialize import (
@@ -38,7 +39,8 @@ from repro.serialize import (
 #: Bump when the result schema or engine semantics change incompatibly;
 #: part of every cache key, so stale cache entries miss instead of
 #: resurfacing under a new schema.
-CACHE_SCHEMA_VERSION = 1
+#: v2: results carry ``extra`` (the emulations' induced round scenario).
+CACHE_SCHEMA_VERSION = 2
 
 #: The engines a request may target.
 ENGINES = ("rounds", "rs_on_ss", "rws_on_sp")
@@ -183,6 +185,12 @@ class ExecutionRequest:
         entries wholesale.
         """
         payload = {"v": CACHE_SCHEMA_VERSION, "request": self.to_dict()}
+        # A mutated engine (REPRO_INJECT_BUG) computes different results
+        # for the same request; keep its entries apart from the real
+        # code's so mutation-testing runs never poison the cache.
+        injected = active_injection()
+        if injected is not None:
+            payload["injected_bug"] = injected
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -203,6 +211,12 @@ class ExecutionResult:
         latency: Rounds until all correct processes decided, ``None``
             for incomplete runs.
         num_rounds: Rounds the engine executed.
+        extra: Engine-specific structured facts about the run.  The
+            emulation harnesses store the *induced* round-level scenario
+            here (``extra["induced_scenario"]``,
+            :func:`~repro.serialize.scenario_to_dict` form), which is
+            what lets the differential fuzzer build the rounds-engine
+            twin of an emulation cell without re-running it.
         cached: True when this result was served from the on-disk
             cache instead of executed (never serialized as True).
     """
@@ -214,6 +228,7 @@ class ExecutionResult:
     decisions: dict[int, tuple[int, Any]] = field(default_factory=dict)
     latency: int | None = None
     num_rounds: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
     cached: bool = False
 
     def to_dict(self) -> dict[str, Any]:
@@ -228,6 +243,7 @@ class ExecutionResult:
             },
             "latency": self.latency,
             "num_rounds": self.num_rounds,
+            "extra": self.extra,
         }
 
     @classmethod
@@ -243,4 +259,5 @@ class ExecutionResult:
             },
             latency=data.get("latency"),
             num_rounds=data.get("num_rounds", 0),
+            extra=dict(data.get("extra", {})),
         )

@@ -4,6 +4,11 @@ Each test hammers one layer with a wide mix of random parameters and
 adversaries, spec-checking every run.  These complement the targeted
 exhaustive tests: exhaustiveness pins down small instances completely,
 the soak explores larger, messier corners.  All are marked slow.
+
+The step-model soak draws its parameters through the Hypothesis
+strategies of :mod:`repro.fuzz.strategies` (``derandomize=True`` keeps
+CI deterministic); when Hypothesis is not installed those tests skip
+and the exhaustive/round-model soaks still run.
 """
 
 from __future__ import annotations
@@ -11,6 +16,16 @@ from __future__ import annotations
 import random
 
 import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.fuzz.strategies import failure_patterns
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
 
 from repro.analysis import verify_algorithm
 from repro.broadcast import AtomicBroadcastWS, check_atomic_broadcast_run
@@ -24,7 +39,7 @@ from repro.consensus import (
     FOptFloodSet,
     FOptFloodSetWS,
 )
-from repro.failures import FailurePattern, random_pattern
+from repro.failures import FailurePattern
 from repro.rounds import RoundModel
 
 
@@ -85,50 +100,88 @@ class TestRoundModelSoak:
         assert report.ok, report.first_violations()
 
 
-class TestStepModelSoak:
-    def test_ss_scheduler_long_runs_many_params(self):
-        from repro.models.ss import SSScheduler, validate_ss_run
-        from repro.simulation.automaton import IdleAutomaton
-        from repro.simulation.executor import StepExecutor
+if HAVE_HYPOTHESIS:
 
-        rng = random.Random(99)
-        for _ in range(15):
-            n = rng.randint(2, 6)
-            phi = rng.randint(1, 4)
-            delta = rng.randint(1, 4)
-            pattern = random_pattern(n, min(2, n - 1), 60, rng)
+    @st.composite
+    def _ss_soak_params(draw):
+        n = draw(st.integers(2, 6))
+        return (
+            n,
+            draw(st.integers(1, 4)),  # phi
+            draw(st.integers(1, 4)),  # delta
+            draw(
+                failure_patterns(
+                    n=n, max_failures=min(2, n - 1), horizon=60
+                )
+            ),
+            draw(st.integers(0, 2**16)),  # scheduler seed
+        )
+
+    @st.composite
+    def _detector_soak_params(draw):
+        n = draw(st.integers(2, 4))
+        victim = draw(st.integers(0, n - 1))
+        return (
+            n,
+            draw(st.integers(1, 2)),  # phi
+            draw(st.integers(1, 2)),  # delta
+            FailurePattern.with_crashes(n, {victim: draw(st.integers(5, 60))}),
+            draw(st.integers(0, 2**16)),  # scheduler seed
+        )
+
+    @st.composite
+    def _ct_soak_params(draw):
+        n = draw(st.sampled_from((3, 5)))
+        t = (n - 1) // 2
+        pattern = draw(
+            failure_patterns(n=n, max_failures=t, horizon=100)
+        )
+        values = draw(
+            st.lists(st.integers(0, 2), min_size=n, max_size=n)
+        )
+        return (
+            pattern,
+            values,
+            draw(st.integers(0, 120)),  # stabilization time
+            draw(st.floats(0.0, 0.5)),  # false-suspicion probability
+            draw(st.integers(0, 2**16)),  # run seed
+        )
+
+    class TestStepModelSoak:
+        @settings(max_examples=15, deadline=None, derandomize=True)
+        @given(params=_ss_soak_params())
+        def test_ss_scheduler_long_runs_many_params(self, params):
+            from repro.models.ss import SSScheduler, validate_ss_run
+            from repro.simulation.automaton import IdleAutomaton
+            from repro.simulation.executor import StepExecutor
+
+            n, phi, delta, pattern, seed = params
             executor = StepExecutor(
                 IdleAutomaton(),
                 n,
                 pattern,
-                SSScheduler(phi, delta, rng=rng),
+                SSScheduler(phi, delta, rng=random.Random(seed)),
             )
             run = executor.execute(250)
             assert validate_ss_run(run, phi, delta) == []
 
-    def test_timeout_detector_many_params(self):
-        from repro.failures import (
-            TimeoutPerfectDetector,
-            classify_history,
-            history_from_run,
-        )
-        from repro.models import SynchronousModel
-
-        rng = random.Random(41)
-        for _ in range(8):
-            n = rng.randint(2, 4)
-            phi = rng.randint(1, 2)
-            delta = rng.randint(1, 2)
-            victim = rng.randrange(n)
-            pattern = FailurePattern.with_crashes(
-                n, {victim: rng.randint(5, 60)}
+        @settings(max_examples=8, deadline=None, derandomize=True)
+        @given(params=_detector_soak_params())
+        def test_timeout_detector_many_params(self, params):
+            from repro.failures import (
+                TimeoutPerfectDetector,
+                classify_history,
+                history_from_run,
             )
+            from repro.models import SynchronousModel
+
+            n, phi, delta, pattern, seed = params
             model = SynchronousModel(phi=phi, delta=delta)
             executor = model.executor(
                 TimeoutPerfectDetector(n, phi, delta),
                 n,
                 pattern,
-                rng=rng,
+                rng=random.Random(seed),
                 record_states=True,
             )
             run = executor.execute(600)
@@ -138,22 +191,18 @@ class TestStepModelSoak:
             )
             assert report.matches_class("P"), report.violations
 
-    def test_ct_consensus_many_params(self):
-        from repro.fdconsensus import ct_decisions, run_ct_consensus
+        @settings(max_examples=6, deadline=None, derandomize=True)
+        @given(params=_ct_soak_params())
+        def test_ct_consensus_many_params(self, params):
+            from repro.fdconsensus import ct_decisions, run_ct_consensus
 
-        rng = random.Random(55)
-        for _ in range(6):
-            n = rng.choice([3, 5])
-            t = (n - 1) // 2
-            victims = rng.sample(range(n), rng.randint(0, t))
-            pattern = FailurePattern.with_crashes(
-                n, {pid: rng.randint(0, 100) for pid in victims}
-            )
-            values = [rng.randint(0, 2) for _ in range(n)]
+            pattern, values, stabilization, suspicion_prob, seed = params
             run = run_ct_consensus(
-                values, pattern, rng=rng,
-                stabilization_time=rng.randint(0, 120),
-                false_suspicion_prob=rng.random() * 0.5,
+                values,
+                pattern,
+                rng=random.Random(seed),
+                stabilization_time=stabilization,
+                false_suspicion_prob=suspicion_prob,
                 max_steps=15_000,
             )
             decisions = ct_decisions(run)

@@ -160,3 +160,88 @@ class TestZeroResilience:
     def test_t0_exhaustive(self):
         report = verify_algorithm(FloodSet(), 3, 0, RoundModel.RS)
         assert report.ok, report.first_violations()
+
+
+# ---------------------------------------------------------------------------
+# Property-based edge cases (Hypothesis via repro.fuzz strategies)
+# ---------------------------------------------------------------------------
+
+try:
+    from hypothesis import given, settings
+
+    from repro.fuzz.strategies import (
+        failure_patterns,
+        failure_scenarios,
+        initial_values,
+    )
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestGeneratedAdversaries:
+        """Model properties over strategy-generated adversaries: every
+        example the fuzz strategies emit is admissible, and the safe
+        algorithms stay safe against all of them."""
+
+        @settings(max_examples=60, deadline=None, derandomize=True)
+        @given(scenario=failure_scenarios(n=4, t=2, max_round=3))
+        def test_generated_rs_scenarios_are_admissible(self, scenario):
+            from repro.rounds import validate_scenario
+
+            assert (
+                validate_scenario(scenario, t=2, allow_pending=False) == []
+            )
+            assert len(scenario.faulty) <= 2
+
+        @settings(max_examples=60, deadline=None, derandomize=True)
+        @given(
+            scenario=failure_scenarios(
+                n=4, t=2, max_round=3, allow_pending=True
+            )
+        )
+        def test_generated_rws_scenarios_are_admissible(self, scenario):
+            from repro.rounds import validate_scenario
+
+            assert (
+                validate_scenario(scenario, t=2, allow_pending=True) == []
+            )
+
+        @settings(max_examples=40, deadline=None, derandomize=True)
+        @given(
+            values=initial_values(4, domain=(0, 1, 2)),
+            scenario=failure_scenarios(n=4, t=1, max_round=3),
+        )
+        def test_floodset_agreement_validity_generated(
+            self, values, scenario
+        ):
+            run = run_rs(FloodSet(), list(values), scenario, t=1)
+            decided = run.decided_values()
+            assert len(decided) <= 1
+            assert decided <= set(values)
+            assert run.all_correct_decided()
+
+        @settings(max_examples=40, deadline=None, derandomize=True)
+        @given(
+            values=initial_values(4),
+            scenario=failure_scenarios(
+                n=4, t=1, max_round=3, allow_pending=True
+            ),
+        )
+        def test_floodset_ws_agreement_generated_rws(self, values, scenario):
+            run = run_rws(FloodSetWS(), list(values), scenario, t=1)
+            decided = run.decided_values()
+            assert len(decided) <= 1
+            assert decided <= set(values)
+
+        @settings(max_examples=40, deadline=None, derandomize=True)
+        @given(pattern=failure_patterns(n=4, max_failures=3, horizon=50))
+        def test_generated_patterns_are_well_formed(self, pattern):
+            assert pattern.n == 4
+            assert len(pattern.faulty) <= 3
+            assert pattern.correct | pattern.faulty == frozenset(range(4))
+            for t in (0, 25, 50):
+                assert pattern.crashed_by(t) <= pattern.crashed_by(t + 1)
