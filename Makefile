@@ -1,4 +1,4 @@
-.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -73,6 +73,25 @@ fuzz-smoke:
 	PYTHONPATH=src python -m repro fuzz --budget 100 --seed 0 --engine rounds
 	PYTHONPATH=src python -m repro fuzz --budget 200 --seed 1 --jobs 2 \
 		--cache-dir $(FUZZ_SMOKE_CACHE)
+
+LIVE_SMOKE_METRICS ?= /tmp/repro_live_smoke_metrics.jsonl
+
+# A real asyncio cluster under hard wall-clock bounds: one lossy run
+# with a mid-run crash, one adversarial run (drops + a partition
+# window) under load, both trace-checked; then the checked live-smoke
+# space through the unified runtime.  The CLI runs' span metrics roll
+# into BENCH_PR5.json's live_timings section.
+live-smoke:
+	rm -f $(LIVE_SMOKE_METRICS)
+	PYTHONPATH=src timeout 60 python -m repro live --algorithm floodset \
+		--net-profile lossy --crash 1@30 --seed 7 --check \
+		--metrics $(LIVE_SMOKE_METRICS)
+	PYTHONPATH=src timeout 60 python -m repro live --algorithm floodset-ws \
+		--net-profile adversarial --crash 2@50 --load 8 --concurrency 4 \
+		--seed 3 --check --metrics $(LIVE_SMOKE_METRICS)
+	PYTHONPATH=src timeout 120 python -m repro sweep live-smoke --check
+	PYTHONPATH=src python scripts/bench_report.py $(LIVE_SMOKE_METRICS) \
+		-o BENCH_PR5.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

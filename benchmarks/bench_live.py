@@ -1,0 +1,101 @@
+"""Live cluster runtime — decisions/sec and detection latency under load.
+
+Unlike the logical engines, these runs cost wall-clock time by
+construction (real delays, real heartbeats), so every case runs exactly
+once.  Each benchmark attaches its throughput (``decisions_per_s``) and
+the detector's quality figures (``detection_delay_ms``) to
+``benchmark.extra_info``; the span breakdown (``live.bench.*``) lands in
+``benchmarks/metrics.jsonl`` for the committed report's ``live_timings``
+section.
+"""
+
+from repro.live import DetectorConfig, LiveCluster, LiveConfig, profile_by_name
+from repro.obs.profile import profiled
+
+
+def _run(config: LiveConfig):
+    with profiled(f"live.bench.{config.profile.name}.{config.algorithm}"):
+        return LiveCluster(config).run()
+
+
+def _attach(benchmark, run) -> None:
+    stats = run.stats_dict()
+    benchmark.extra_info["profile"] = stats["profile"]
+    benchmark.extra_info["decisions"] = stats["decisions"]
+    benchmark.extra_info["decisions_per_s"] = stats["decisions_per_s"]
+    benchmark.extra_info["detection_delay_ms"] = stats["detector_quality"][
+        "detection_delay_ms"
+    ]
+
+
+def bench_live_floodsetws_lan_load(once, benchmark):
+    """Throughput ceiling: 24 concurrent sessions on the clean profile."""
+    config = LiveConfig(
+        algorithm="floodset-ws",
+        values=(0, 1, 0, 1),
+        profile=profile_by_name("lan"),
+        t=1,
+        max_rounds=2,
+        seed=1,
+        sessions=24,
+        concurrency=8,
+    )
+    run = once(_run, config)
+    assert run.sessions_completed == 24
+    _attach(benchmark, run)
+
+
+def bench_live_floodset_lossy_crash(once, benchmark):
+    """Detection latency: lossy links, one mid-run crash, full check load."""
+    config = LiveConfig(
+        algorithm="floodset",
+        values=(3, 1, 2, 0),
+        profile=profile_by_name("lossy"),
+        t=1,
+        crash_at=((1, 0.03),),
+        max_rounds=4,
+        seed=7,
+    )
+    run = once(_run, config)
+    decided = {value for _, value in run.decisions.values()}
+    assert len(decided) == 1, run.decisions
+    assert run.detector_summary["suspicions"] >= 1
+    assert run.detector_summary["false_suspicions"] == 0
+    _attach(benchmark, run)
+
+
+def bench_live_floodsetws_adversarial_load(once, benchmark):
+    """Load under drops and a partition window (the worst profile)."""
+    config = LiveConfig(
+        algorithm="floodset-ws",
+        values=(0, 1, 0, 1),
+        profile=profile_by_name("adversarial"),
+        t=1,
+        crash_at=((2, 0.05),),
+        max_rounds=2,
+        seed=3,
+        sessions=8,
+        concurrency=4,
+        timeout_s=60.0,
+    )
+    run = once(_run, config)
+    assert run.sessions_completed == 8
+    assert run.detector_summary["false_suspicions"] == 0
+    _attach(benchmark, run)
+
+
+def bench_live_chandra_toueg_lossy(once, benchmark):
+    """Step-mode Chandra–Toueg on P with a dead first coordinator."""
+    config = LiveConfig(
+        algorithm="chandra-toueg",
+        values=(5, 7, 7),
+        profile=profile_by_name("lossy"),
+        t=1,
+        detector=DetectorConfig(kind="ep"),
+        crash_at=((0, 0.0),),
+        seed=5,
+    )
+    run = once(_run, config)
+    decided = {value for _, value in run.decisions.values()}
+    assert decided == {7}, run.decisions
+    _attach(benchmark, run)

@@ -12,7 +12,7 @@ import argparse
 import sys
 
 from repro.errors import ConfigurationError
-from repro.fuzz import FUZZ_ENGINES, run_campaign
+from repro.fuzz import FUZZ_ENGINES, LIVE_FUZZ_ENGINE, run_campaign
 from repro.inject import INJECT_ENV, KNOWN_INJECTIONS, active_injection
 
 
@@ -65,10 +65,11 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_fuzz.add_argument(
         "--engine",
         action="append",
-        choices=("all", "rounds") + FUZZ_ENGINES,
+        choices=("all", "rounds") + FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,),
         help=(
             "engine(s) to round-robin (repeatable; default: all; "
-            "'rounds' = rounds-rs + rounds-rws)"
+            "'rounds' = rounds-rs + rounds-rws; 'live' is opt-in and "
+            "excluded from the parity sample)"
         ),
     )
     p_fuzz.add_argument(

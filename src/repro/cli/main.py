@@ -13,6 +13,8 @@ module under :mod:`repro.cli` and registers itself via ``register``:
   scenario-space execution through the unified runtime).
 * :mod:`repro.cli.fuzz` — ``fuzz`` (differential fuzzing across the
   engines, with counterexample shrinking).
+* :mod:`repro.cli.live` — ``live`` (a real asyncio cluster with
+  heartbeat-built P and network fault injection).
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from typing import Sequence
 from repro.cli import check as _check
 from repro.cli import experiments as _experiments
 from repro.cli import fuzz as _fuzz
+from repro.cli import live as _live
 from repro.cli import show as _show
 from repro.cli import sweep as _sweep
 from repro.cli import trace as _trace
@@ -47,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (_experiments, _show, _trace, _check, _sweep, _fuzz):
+    for module in (_experiments, _show, _trace, _check, _sweep, _fuzz, _live):
         module.register(sub)
     return parser
 

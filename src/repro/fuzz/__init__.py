@@ -38,6 +38,7 @@ from repro.fuzz.oracles import (
 from repro.fuzz.shrink import ShrinkResult, shrink, shrink_moves
 from repro.fuzz.strategies import (
     FUZZ_ENGINES,
+    LIVE_FUZZ_ENGINE,
     SAFE_ALGORITHMS,
     case_rng,
     generate_case,
@@ -50,6 +51,7 @@ __all__ = [
     "Counterexample",
     "FuzzReport",
     "FUZZ_ENGINES",
+    "LIVE_FUZZ_ENGINE",
     "OracleFailure",
     "SAFE_ALGORITHMS",
     "ShrinkResult",

@@ -37,7 +37,11 @@ from repro.fuzz.oracles import (
     twin_request,
 )
 from repro.fuzz.shrink import shrink
-from repro.fuzz.strategies import FUZZ_ENGINES, generate_case
+from repro.fuzz.strategies import (
+    FUZZ_ENGINES,
+    LIVE_FUZZ_ENGINE,
+    generate_case,
+)
 from repro.inject import active_injection
 from repro.rounds.scenario import validate_scenario
 from repro.runtime.cache import ResultCache
@@ -116,6 +120,7 @@ class FuzzReport:
     executed: int
     cached: int
     twins: int
+    parity_cells: int = 0
     counterexamples: list[Counterexample] = field(default_factory=list)
     parity_problems: list[str] = field(default_factory=list)
     repro_files: list[str] = field(default_factory=list)
@@ -136,10 +141,14 @@ class FuzzReport:
         if self.parity_problems:
             lines.append("parity oracles FAILED:")
             lines.extend(f"  {problem}" for problem in self.parity_problems)
-        else:
+        elif self.parity_cells:
             lines.append(
                 f"parity oracles ok (jobs=1 vs jobs=2, cold vs warm cache "
-                f"over {min(PARITY_SAMPLE, self.budget)} sampled cells)"
+                f"over {self.parity_cells} sampled cells)"
+            )
+        else:
+            lines.append(
+                "parity oracles skipped (no deterministic cells to sample)"
             )
         if self.counterexamples:
             lines.append(
@@ -154,19 +163,24 @@ class FuzzReport:
 
 
 def resolve_engines(names: Sequence[str]) -> tuple[str, ...]:
-    """Expand CLI engine selectors into the fuzz-engine round-robin."""
+    """Expand CLI engine selectors into the fuzz-engine round-robin.
+
+    ``all`` covers the four deterministic engines; the wall-clock
+    ``live`` engine is opt-in by name, so default campaigns stay
+    reproducible case-for-case.
+    """
     engines: list[str] = []
     for name in names:
         if name == "all":
             engines.extend(FUZZ_ENGINES)
         elif name == "rounds":
             engines.extend(("rounds-rs", "rounds-rws"))
-        elif name in FUZZ_ENGINES:
+        elif name in FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,):
             engines.append(name)
         else:
             raise ConfigurationError(
                 f"unknown engine {name!r}; choose from "
-                f"{('all', 'rounds') + FUZZ_ENGINES}"
+                f"{('all', 'rounds') + FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,)}"
             )
     return tuple(dict.fromkeys(engines))
 
@@ -322,7 +336,13 @@ def run_campaign(
             )
         )
 
-    parity = _parity_problems(requests[:PARITY_SAMPLE], cache_dir)
+    # Live cells never enter the parity sample: their traces are
+    # wall-clock nondeterministic, so byte-identity across schedulers
+    # (or cache warmth) is not a claim the engine makes.
+    parity_sample = [
+        r for r in requests if r.engine != LIVE_FUZZ_ENGINE
+    ][:PARITY_SAMPLE]
+    parity = _parity_problems(parity_sample, cache_dir)
 
     report = FuzzReport(
         budget=budget,
@@ -331,6 +351,7 @@ def run_campaign(
         executed=sweep.executed,
         cached=sweep.cached,
         twins=len(twin_by_case),
+        parity_cells=len(parity_sample),
         counterexamples=counterexamples,
         parity_problems=parity,
     )

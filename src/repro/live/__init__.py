@@ -1,0 +1,46 @@
+"""The live asyncio cluster runtime (the paper's SP model, made real).
+
+Every other engine in the repo runs in lock-step logical time, so the
+SP model — an asynchronous system in which the perfect detector P must
+be *implemented*, not assumed — is only ever axiomatized.  This package
+runs each process as an asyncio task over an in-process transport with
+pluggable fault injection (per-link latency, drops, partitions,
+crash-at-time), builds P (and ◊P) from heartbeats and timeouts over
+that transport, and adapts the existing round algorithms and the
+Chandra–Toueg step automaton onto live channels:
+
+* :mod:`repro.live.profiles` — named network fault profiles;
+* :mod:`repro.live.transport` — queues, seeded drops/latency,
+  partitions, retransmission-based reliable channels;
+* :mod:`repro.live.detector`  — heartbeat timeout-P / ◊P with quality
+  metrics (detection time, false suspicions);
+* :mod:`repro.live.cluster`   — the cluster orchestrator: fault
+  scheduling, event collection, logical-trace serialization, load mode;
+* :mod:`repro.live.rounds`    — the P-synchronizer running
+  :class:`~repro.rounds.algorithm.RoundAlgorithm` unmodified;
+* :mod:`repro.live.steps`     — the step adapter driving
+  :class:`~repro.simulation.automaton.StepAutomaton` (Chandra–Toueg);
+* :mod:`repro.live.harness`   — ``ExecutionRequest`` glue for
+  :func:`repro.runtime.harness.execute_request`.
+"""
+
+from repro.live.cluster import LiveCluster, LiveConfig, LiveRun
+from repro.live.detector import DetectorConfig, HeartbeatService
+from repro.live.harness import config_from_request, run_live_request
+from repro.live.profiles import NET_PROFILES, NetProfile, profile_by_name
+from repro.live.transport import LiveTransport, TransportStats
+
+__all__ = [
+    "DetectorConfig",
+    "HeartbeatService",
+    "LiveCluster",
+    "LiveConfig",
+    "LiveRun",
+    "LiveTransport",
+    "NET_PROFILES",
+    "NetProfile",
+    "TransportStats",
+    "config_from_request",
+    "profile_by_name",
+    "run_live_request",
+]

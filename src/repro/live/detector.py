@@ -1,0 +1,231 @@
+"""Heartbeat-built failure detection over the live transport.
+
+This is the live counterpart of :mod:`repro.failures.timeout_p` and
+:mod:`repro.failures.timeout_ep`: the same timeout construction, but
+over real (lossy, delayed) channels instead of a step schedule.
+
+Every process broadcasts a heartbeat each ``interval_s`` and runs a
+monitor that counts *its own monitor passes* since it last heard each
+peer.  Suspicion fires after ``miss_threshold`` silent passes.  Counting
+local passes instead of wall time mirrors the paper's local-step
+counting (processes have no global clock, only their own step counter)
+and has a practical virtue: an event-loop stall delays the monitor
+exactly as much as the heartbeats it is waiting for, so scheduler
+hiccups cannot manufacture false suspicions.
+
+Two modes, mirroring the simulation-level detectors:
+
+* ``"p"`` — timeout-P: suspicion is permanent.  Accuracy rests on a
+  conservative threshold: with per-attempt drop probability ``d`` a
+  false suspicion needs ``miss_threshold`` consecutive losses
+  (probability ``d**miss_threshold``), and partitions must be shorter
+  than the silence tolerance.  Completeness is unconditional: the
+  crashed stay silent and silence crosses any timeout.
+* ``"ep"`` — ◊P with adaptive timeouts, the live analogue of
+  :class:`~repro.failures.timeout_ep.AdaptiveTimeoutDetector`: a late
+  heartbeat from a suspected peer *refutes* the suspicion and grows
+  that peer's threshold by ``backoff``, so false suspicions eventually
+  stop — eventual strong accuracy.
+
+The service keeps quality metrics per suspicion: detection delay
+(suspicion wall time minus ground-truth crash time) and a false flag
+(the peer was alive when suspected).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.live.transport import LiveTransport
+
+#: Wire tag of heartbeat datagrams.
+HEARTBEAT = "hb"
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Timing knobs of the heartbeat service.
+
+    The defaults satisfy the soundness inequality for every registered
+    profile with a wide margin: silence tolerance
+    (``interval_s * miss_threshold`` = 150 ms) exceeds the adversarial
+    partition window (40 ms, which eats at most ~4 of the tolerated
+    passes) plus one heartbeat interval and the maximum one-way delay,
+    so a false suspicion still needs the ~11 remaining passes to *all*
+    lose their heartbeats — ``0.25 ** 11`` under the lossiest profile.
+    """
+
+    kind: str = "p"
+    interval_s: float = 0.01
+    miss_threshold: int = 15
+    backoff: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("p", "ep"):
+            raise ConfigurationError(
+                f"unknown detector kind {self.kind!r}; choose 'p' or 'ep'"
+            )
+        if self.interval_s <= 0:
+            raise ConfigurationError("heartbeat interval must be positive")
+        if self.miss_threshold < 1 or self.backoff < 1:
+            raise ConfigurationError(
+                "miss_threshold and backoff must be >= 1"
+            )
+
+
+@dataclass
+class SuspicionRecord:
+    """One suspicion event, with its quality verdict."""
+
+    observer: int
+    peer: int
+    at_s: float
+    false: bool
+    delay_s: float | None  # at_s - crash wall time, None for false ones
+
+
+@dataclass
+class DetectorStats:
+    """Aggregated detector quality over one cluster run."""
+
+    suspicions: list[SuspicionRecord] = field(default_factory=list)
+    refutations: int = 0
+
+    @property
+    def false_suspicions(self) -> int:
+        return sum(1 for record in self.suspicions if record.false)
+
+    def detection_delays(self) -> list[float]:
+        """True detections' delays (seconds), one per (observer, peer)."""
+        return [
+            record.delay_s
+            for record in self.suspicions
+            if not record.false and record.delay_s is not None
+        ]
+
+    def summary(self) -> dict:
+        delays = self.detection_delays()
+        return {
+            "suspicions": len(self.suspicions),
+            "false_suspicions": self.false_suspicions,
+            "refutations": self.refutations,
+            "detections": len(delays),
+            "detection_delay_ms": {
+                "mean": round(1000 * sum(delays) / len(delays), 3)
+                if delays
+                else None,
+                "max": round(1000 * max(delays), 3) if delays else None,
+            },
+        }
+
+
+class HeartbeatService:
+    """Per-process heartbeat broadcasting and silence monitoring.
+
+    Args:
+        n: Number of processes.
+        transport: The live transport (also the crash oracle for
+            *local* module shutdown — a crashed process's own tasks
+            stop; remote crashes are only ever inferred from silence).
+        config: Timing and mode knobs.
+        crash_time_of: Ground truth for quality metrics only — maps a
+            pid to its crash wall time (or ``None``).  Never consulted
+            for suspicion decisions.
+        on_suspect: Called as ``on_suspect(observer, peer)`` whenever a
+            module's suspect set grows (the cluster uses it to wake
+            waiting round runners and to record trace events).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        transport: LiveTransport,
+        config: DetectorConfig,
+        *,
+        crash_time_of: Callable[[int], float | None] = lambda pid: None,
+        on_suspect: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("detector needs at least 2 processes")
+        self.n = n
+        self.transport = transport
+        self.config = config
+        self.crash_time_of = crash_time_of
+        self.on_suspect = on_suspect
+        self.stats = DetectorStats()
+        peers = {pid: [q for q in range(n) if q != pid] for pid in range(n)}
+        self._peers = peers
+        self._misses = {
+            pid: {q: 0 for q in peers[pid]} for pid in range(n)
+        }
+        self._thresholds = {
+            pid: {q: config.miss_threshold for q in peers[pid]}
+            for pid in range(n)
+        }
+        self._suspected: dict[int, set[int]] = {pid: set() for pid in range(n)}
+
+    # -- queries ------------------------------------------------------------
+
+    def suspected_by(self, pid: int) -> frozenset[int]:
+        """The current output of ``pid``'s detector module."""
+        return frozenset(self._suspected[pid])
+
+    # -- transport-facing hooks ---------------------------------------------
+
+    def heard(self, pid: int, sender: int) -> None:
+        """``pid`` received a heartbeat from ``sender``."""
+        self._misses[pid][sender] = 0
+        if sender in self._suspected[pid]:
+            if self.config.kind == "ep":
+                # A refuted suspicion: trust again, back off the timer —
+                # the AdaptiveTimeoutDetector move, on live channels.
+                self._suspected[pid].discard(sender)
+                self._thresholds[pid][sender] += self.config.backoff
+                self.stats.refutations += 1
+            # kind "p": suspicion is irrevocable; the late heartbeat is
+            # ignored (and, with a sound threshold, never happens).
+
+    # -- tasks --------------------------------------------------------------
+
+    def tasks(self, pid: int) -> list:
+        """The coroutines to schedule for process ``pid``."""
+        return [self._beat(pid), self._monitor(pid)]
+
+    async def _beat(self, pid: int) -> None:
+        transport = self.transport
+        while pid not in transport.crashed:
+            for peer in self._peers[pid]:
+                transport.send_unreliable(pid, peer, (HEARTBEAT, pid))
+            await asyncio.sleep(self.config.interval_s)
+
+    async def _monitor(self, pid: int) -> None:
+        transport = self.transport
+        while True:
+            await asyncio.sleep(self.config.interval_s)
+            if pid in transport.crashed:
+                return
+            for peer in self._peers[pid]:
+                if peer in self._suspected[pid]:
+                    continue
+                self._misses[pid][peer] += 1
+                if self._misses[pid][peer] >= self._thresholds[pid][peer]:
+                    self._suspect(pid, peer)
+
+    def _suspect(self, pid: int, peer: int) -> None:
+        self._suspected[pid].add(peer)
+        at = self.transport.now()
+        crash_at = self.crash_time_of(peer)
+        self.stats.suspicions.append(
+            SuspicionRecord(
+                observer=pid,
+                peer=peer,
+                at_s=at,
+                false=crash_at is None,
+                delay_s=(at - crash_at) if crash_at is not None else None,
+            )
+        )
+        if self.on_suspect is not None:
+            self.on_suspect(pid, peer)

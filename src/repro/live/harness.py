@@ -1,0 +1,73 @@
+"""``ExecutionRequest`` glue: the live engine behind the uniform seam.
+
+The unified runtime describes a cell as an
+:class:`~repro.runtime.request.ExecutionRequest`; this module maps that
+onto a :class:`~repro.live.cluster.LiveConfig` and runs it, so sweeps,
+the fuzzer and the CLI can target ``engine="live"`` exactly like the
+logical engines.
+
+Mapping conventions:
+
+* the request's :class:`~repro.failures.pattern.FailurePattern` carries
+  crash *times*; the logical engines read them as step indices, the
+  live engine reads them as **centiseconds** (units of 10 ms) of wall
+  clock from cluster start — small integer patterns land inside a
+  typical run either way;
+* ``params`` may carry ``net_profile`` (default ``"lan"``),
+  ``detector`` (``"p"``/``"ep"``), ``sessions``, ``concurrency`` and
+  ``timeout_s``;
+* the run's trace is wall-clock nondeterministic, so it is replayed
+  into the observer post-hoc in the serialized logical order (see
+  :meth:`~repro.live.cluster.LiveRun.replay_into`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.live.cluster import LiveCluster, LiveConfig, LiveRun
+from repro.live.detector import DetectorConfig
+from repro.live.profiles import profile_by_name
+from repro.obs.profile import profiled
+
+#: Seconds of wall clock per unit of a failure pattern's crash time.
+SECONDS_PER_CRASH_UNIT = 0.01
+
+
+def config_from_request(request: Any) -> LiveConfig:
+    """Translate a ``live``-engine request into a :class:`LiveConfig`."""
+    params = dict(request.params)
+    known = {"net_profile", "detector", "sessions", "concurrency", "timeout_s"}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"{request.name}: unknown live params {unknown}; "
+            f"known: {sorted(known)}"
+        )
+    crash_at = tuple(
+        (pid, crash_time * SECONDS_PER_CRASH_UNIT)
+        for pid, crash_time in sorted(request.pattern.crash_times.items())
+    )
+    return LiveConfig(
+        algorithm=request.algorithm,
+        values=request.values,
+        profile=profile_by_name(params.get("net_profile", "lan")),
+        t=request.t,
+        detector=DetectorConfig(kind=params.get("detector", "p")),
+        crash_at=crash_at,
+        max_rounds=request.max_rounds,
+        seed=request.seed if request.seed is not None else 0,
+        sessions=int(params.get("sessions", 1)),
+        concurrency=int(params.get("concurrency", 8)),
+        timeout_s=float(params.get("timeout_s", 30.0)),
+    )
+
+
+def run_live_request(request: Any, *, observer: Any = None) -> LiveRun:
+    """Execute one live cell and replay its serialized trace."""
+    config = config_from_request(request)
+    with profiled("live.execute"):
+        run = LiveCluster(config).run()
+    run.replay_into(observer)
+    return run

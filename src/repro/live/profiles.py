@@ -1,0 +1,149 @@
+"""Named network fault profiles for the live transport.
+
+A profile fixes the per-link behaviour of the in-process network:
+latency bounds, the per-attempt drop probability, and any partition
+windows.  Partitions are expressed as wall-clock windows (seconds from
+cluster start) that sever every link crossing a process group — the
+classic "split" fault, distinct from drops in that *no* attempt gets
+through while the window is open.
+
+The three registered profiles form a severity ladder:
+
+* ``lan`` — sub-millisecond delays, no loss.  The control case: the
+  detector's timeout arithmetic must hold trivially here.
+* ``lossy`` — milliseconds of jitter and 15% per-attempt loss.  The
+  retransmission layer must mask the loss (fair-lossy link + retry =
+  reliable channel) and the detector must stay accurate because its
+  silence tolerance covers many consecutive losses.
+* ``adversarial`` — 25% loss, wider jitter, and a partition window
+  isolating process 0.  The window is deliberately *shorter* than the
+  default detector tolerance: a sound P implementation must ride it
+  out without a false suspicion, while reliable sends heal across it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A wall-clock window during which a process group is cut off.
+
+    Attributes:
+        start_s: Window start, seconds from cluster start (inclusive).
+        end_s: Window end, seconds from cluster start (exclusive).
+        group: The isolated processes; every link with exactly one
+            endpoint in the group is severed while the window is open.
+    """
+
+    start_s: float
+    end_s: float
+    group: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"partition window [{self.start_s}, {self.end_s}) is empty"
+            )
+        object.__setattr__(self, "group", frozenset(self.group))
+
+    def severs(self, sender: int, recipient: int, now_s: float) -> bool:
+        """True when this window cuts the ``sender -> recipient`` link."""
+        if not self.start_s <= now_s < self.end_s:
+            return False
+        return (sender in self.group) != (recipient in self.group)
+
+
+@dataclass(frozen=True)
+class NetProfile:
+    """Per-link network behaviour of a live cluster.
+
+    Attributes:
+        name: Registry key.
+        min_delay_s / max_delay_s: Uniform one-way latency bounds.
+        drop_prob: Per-attempt probability that a message is lost.
+        partitions: Partition windows applied on top of drops.
+    """
+
+    name: str
+    min_delay_s: float
+    max_delay_s: float
+    drop_prob: float = 0.0
+    partitions: tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_delay_s <= self.max_delay_s:
+            raise ConfigurationError(
+                f"profile {self.name!r}: need 0 <= min_delay <= max_delay, "
+                f"got [{self.min_delay_s}, {self.max_delay_s}]"
+            )
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: drop_prob must be in [0, 1), "
+                f"got {self.drop_prob}"
+            )
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    def sample_delay(self, rng: random.Random) -> float:
+        """One-way latency for a single delivery attempt."""
+        return rng.uniform(self.min_delay_s, self.max_delay_s)
+
+    def drops(self, rng: random.Random) -> bool:
+        """Whether a single delivery attempt is lost."""
+        return self.drop_prob > 0.0 and rng.random() < self.drop_prob
+
+    def severed(self, sender: int, recipient: int, now_s: float) -> bool:
+        """Whether a partition currently cuts the link."""
+        return any(
+            window.severs(sender, recipient, now_s)
+            for window in self.partitions
+        )
+
+
+#: Registered profiles, mildest first.  The adversarial partition
+#: window (40 ms) is well inside the default P tolerance
+#: (``interval * miss_threshold`` = 150 ms, see
+#: :class:`repro.live.detector.DetectorConfig`), so accuracy must
+#: survive it with margin to spare for drop streaks at its edges.
+NET_PROFILES: dict[str, NetProfile] = {
+    profile.name: profile
+    for profile in (
+        NetProfile(
+            name="lan",
+            min_delay_s=0.0003,
+            max_delay_s=0.002,
+        ),
+        NetProfile(
+            name="lossy",
+            min_delay_s=0.001,
+            max_delay_s=0.006,
+            drop_prob=0.15,
+        ),
+        NetProfile(
+            name="adversarial",
+            min_delay_s=0.002,
+            max_delay_s=0.010,
+            drop_prob=0.25,
+            partitions=(
+                PartitionWindow(
+                    start_s=0.08, end_s=0.12, group=frozenset({0})
+                ),
+            ),
+        ),
+    )
+}
+
+
+def profile_by_name(name: str) -> NetProfile:
+    """Look up a registered profile; unknown names raise with the list."""
+    profile = NET_PROFILES.get(name)
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown net profile {name!r}; choose from "
+            f"{sorted(NET_PROFILES)}"
+        )
+    return profile

@@ -1,0 +1,128 @@
+"""The P-synchronizer: round algorithms on live asynchronous channels.
+
+This is the paper's Section 4.2 construction made executable on a real
+(asyncio) network: an asynchronous system equipped with a perfect
+failure detector emulates the RWS round model, so any
+:class:`~repro.rounds.algorithm.RoundAlgorithm` runs *unmodified*.
+
+Per round ``r`` each process:
+
+1. computes ``msgs_i`` and posts one reliable *round marker* to every
+   peer — carrying the algorithm payload for addressed recipients and
+   an explicit null otherwise.  Markers from every peer each round are
+   what keep the synchronizer deadlock-free: a process whose algorithm
+   has gone silent (halted, or simply not addressing someone) still
+   advances its peers' rounds;
+2. waits until, for every peer ``q``, either ``q``'s round-``r`` marker
+   arrived or ``q`` is suspected by the local detector module — the
+   "receive from all processes not yet suspected" rule;
+3. records deliveries, applies ``trans_i``, and moves on.
+
+**Weak round synchrony falls out.**  A round-``r`` send that its
+recipient never consumes requires the sender to have stopped
+retransmitting — i.e. crashed — while still in round ``r`` or ``r+1``:
+the sender cannot reach round ``r+2`` because completing round ``r+1``
+would require the stuck recipient's round-``r+1`` marker, which does
+not exist.  That is exactly Lemma 4.1's bound, and the serialized
+trace lets the ``synchrony.rws`` oracle re-verify it on every run.
+
+Crash atomicity: the runner's only suspension point is the wait phase,
+so a cancellation (crash) always lands with the round's sends complete
+and its transition unapplied — a clean round-model crash, reported
+with ``applies_transition=False``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.live.cluster import ROUND_MSG
+from repro.rounds.algorithm import RoundAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.cluster import LiveCluster
+
+
+async def run_rounds_session(
+    cluster: "LiveCluster",
+    session: int,
+    pid: int,
+    algorithm: RoundAlgorithm,
+) -> None:
+    """Drive ``pid`` through ``max_rounds`` synchronized rounds."""
+    config = cluster.config
+    n = config.n
+    transport = cluster.transport
+    proc = cluster.procs[pid]
+    record = session == 0 and config.record_events
+    peers = [q for q in range(n) if q != pid]
+
+    state = algorithm.initial_state(pid, n, config.t, config.values[pid])
+    decided = False
+    halted = False
+
+    for round_index in range(1, config.max_rounds + 1):
+        proc.current_round[session] = round_index
+        outgoing = {} if halted else dict(algorithm.messages(pid, state))
+        buffer = proc.rounds.setdefault((session, round_index), {})
+
+        # Send phase: self-delivery is reliable and instantaneous; every
+        # peer gets a marker so rounds advance even across silence.
+        if pid in outgoing:
+            buffer[pid] = (True, outgoing[pid])
+            if record:
+                cluster.record(
+                    "msg_sent", pid=pid, peer=pid, round_index=round_index
+                )
+                cluster.record(
+                    "msg_delivered", pid=pid, peer=pid, round_index=round_index
+                )
+        for q in peers:
+            has_payload = q in outgoing
+            if has_payload and record:
+                cluster.record(
+                    "msg_sent", pid=pid, peer=q, round_index=round_index
+                )
+            transport.post_reliable(
+                pid,
+                q,
+                (ROUND_MSG, session, round_index, pid, has_payload,
+                 outgoing.get(q)),
+            )
+
+        # Wait phase: marker or suspicion, for every peer.  The wake
+        # event is cleared before the predicate is evaluated, so any
+        # arrival or suspicion that lands after the check re-sets it.
+        while True:
+            proc.wake.clear()
+            suspected = cluster.detector.suspected_by(pid)
+            if all(q in buffer or q in suspected for q in peers):
+                break
+            await proc.wake.wait()
+
+        # Receive phase: consume payload-bearing markers that made it.
+        received = {}
+        for sender in sorted(buffer):
+            has_payload, payload = buffer[sender]
+            if not has_payload:
+                continue
+            received[sender] = payload
+            if record and sender != pid:
+                cluster.record(
+                    "msg_delivered",
+                    pid=sender,
+                    peer=pid,
+                    round_index=round_index,
+                )
+
+        if not halted:
+            state = algorithm.transition(pid, state, received)
+            if not decided:
+                decision = algorithm.decision_of(state)
+                if decision is not None:
+                    decided = True
+                    cluster.record_decision(session, pid, round_index, decision)
+            halted = algorithm.halted(pid, state)
+
+    if halted and record:
+        cluster.record("halt", pid=pid)

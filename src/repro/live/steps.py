@@ -1,0 +1,112 @@
+"""The step adapter: Chandra–Toueg on live channels and heartbeat ◊P/P.
+
+:class:`~repro.fdconsensus.chandra_toueg.ChandraTouegConsensus` is a
+:class:`~repro.simulation.automaton.StepAutomaton` — in the simulation
+it is driven by a step scheduler and a pre-drawn detector history.
+Here each process is an asyncio task that repeatedly builds a
+:class:`~repro.simulation.automaton.StepContext` from its live inbox
+and its *heartbeat* detector module's current suspect set, applies
+``on_step``, and ships the outcome's (at most one) message through the
+reliable transport.
+
+Pacing is event-driven: a step that made no progress (no send, no
+state change, nothing consumed) blocks on the process's wake event,
+which the router sets on message arrival and the detector on new
+suspicions — the two inputs that can unblock a waiting phase
+(collecting a majority, awaiting a proposal-or-suspicion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.live.cluster import STEP_MSG
+from repro.simulation.automaton import StepAutomaton, StepContext
+from repro.simulation.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.cluster import LiveCluster
+
+
+async def run_steps_session(
+    cluster: "LiveCluster",
+    session: int,
+    pid: int,
+    automaton: StepAutomaton,
+) -> None:
+    """Drive ``pid``'s automaton until it decides and drains its outbox."""
+    config = cluster.config
+    transport = cluster.transport
+    proc = cluster.procs[pid]
+    record = session == 0 and config.record_events
+    inbox = proc.steps.setdefault(session, deque())
+
+    state = automaton.initial_state(pid, config.n)
+    local_step = 0
+    uid = 0
+    decided = False
+
+    while True:
+        proc.wake.clear()
+        received = []
+        while inbox:
+            message = inbox.popleft()
+            received.append(message)
+            if record:
+                cluster.record(
+                    "msg_delivered", pid=message.sender, peer=pid
+                )
+
+        local_step += 1
+        context = StepContext(
+            pid=pid,
+            n=config.n,
+            state=state,
+            received=tuple(received),
+            local_step=local_step,
+            suspects=cluster.detector.suspected_by(pid),
+        )
+        outcome = automaton.on_step(context)
+        previous, state = state, outcome.state
+
+        if outcome.send_to is not None:
+            uid += 1
+            message = Message(
+                uid=pid * 1_000_000 + uid,
+                sender=pid,
+                recipient=outcome.send_to,
+                payload=outcome.payload,
+                sent_step=local_step,
+            )
+            if record:
+                cluster.record("msg_sent", pid=pid, peer=outcome.send_to)
+            if outcome.send_to == pid:
+                transport.deliver_local(pid, (STEP_MSG, session, message))
+            else:
+                transport.post_reliable(
+                    pid, outcome.send_to, (STEP_MSG, session, message)
+                )
+
+        if not decided and getattr(state, "decided", False):
+            decided = True
+            cluster.record_decision(
+                session, pid, state.round, state.decision
+            )
+
+        if decided and not state.outbox:
+            break
+
+        progress = (
+            outcome.send_to is not None
+            or bool(received)
+            or state != previous
+        )
+        if progress:
+            await asyncio.sleep(0)
+        else:
+            await proc.wake.wait()
+
+    if record:
+        cluster.record("halt", pid=pid)

@@ -1,0 +1,174 @@
+"""The in-process live network: queues, faults, reliable channels.
+
+Each process owns an inbox (an :class:`asyncio.Queue`); a send is a
+delivery *attempt* that may be severed by a partition or dropped by the
+profile's per-attempt loss, and otherwise arrives after a sampled
+one-way delay.  Two send disciplines sit on top:
+
+* **unreliable** (heartbeats) — one attempt, fire and forget.  This is
+  the paper's fair-lossy datagram: losing any finite number of
+  heartbeats is fine because the next one carries the same information.
+* **reliable** (algorithm messages) — retransmit every ``rto_s`` until
+  an attempt makes it onto the wire or the *sender* crashes.  A
+  fair-lossy link plus retransmission is a reliable channel, which is
+  exactly the channel assumption of the paper's SP model.  Crashing
+  cancels a sender's future retransmissions but never recalls a
+  message already in flight — the crash boundary the failure-pattern
+  formalism prescribes.
+
+Randomness (drops, delays) comes from one seeded RNG, so two runs with
+the same seed make the same per-attempt choices; wall-clock
+interleaving remains genuinely nondeterministic, which is the point of
+the live engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.live.profiles import NetProfile
+
+
+@dataclass
+class TransportStats:
+    """Counters over one cluster run."""
+
+    attempts: int = 0
+    dropped: int = 0
+    severed: int = 0
+    delivered: int = 0
+    retransmits: int = 0
+    heartbeats_sent: int = 0
+    dead_letters: int = 0  # deliveries whose recipient had crashed
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _Inbox:
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+
+
+class LiveTransport:
+    """The cluster's network fabric.
+
+    Args:
+        n: Number of processes (pids ``0 .. n-1``).
+        profile: The fault profile governing every link.
+        rng: Seeded RNG for drop and delay draws.
+        rto_s: Retransmission timeout for reliable sends; defaults to
+            four maximum one-way delays (and never below 10 ms).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        profile: NetProfile,
+        rng: random.Random,
+        *,
+        rto_s: float | None = None,
+    ) -> None:
+        self.n = n
+        self.profile = profile
+        self.rng = rng
+        self.rto_s = (
+            rto_s if rto_s is not None else max(4 * profile.max_delay_s, 0.01)
+        )
+        self.stats = TransportStats()
+        self.crashed: set[int] = set()
+        self.inboxes = [_Inbox() for _ in range(n)]
+        self._tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._start: float = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind to the running loop; call once inside the cluster task."""
+        self._loop = asyncio.get_running_loop()
+        self._start = self._loop.time()
+
+    def now(self) -> float:
+        """Seconds since :meth:`start` (the cluster's wall clock)."""
+        assert self._loop is not None, "transport not started"
+        return self._loop.time() - self._start
+
+    def crash(self, pid: int) -> None:
+        """Mark ``pid`` crashed: no new sends, retransmissions cease."""
+        self.crashed.add(pid)
+
+    async def shutdown(self) -> None:
+        """Cancel every in-flight delivery and retransmission task."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # -- sending ------------------------------------------------------------
+
+    def send_unreliable(self, sender: int, recipient: int, payload: Any) -> bool:
+        """One delivery attempt (heartbeat discipline).
+
+        Returns True when the attempt made it onto the wire.
+        """
+        self.stats.heartbeats_sent += 1
+        return self._attempt(sender, recipient, payload)
+
+    def post_reliable(self, sender: int, recipient: int, payload: Any) -> None:
+        """Queue a reliable send; retransmission runs as its own task."""
+        self._spawn(self._send_reliable(sender, recipient, payload))
+
+    def deliver_local(self, pid: int, payload: Any) -> None:
+        """Immediate, reliable self-delivery (no network hop)."""
+        self.inboxes[pid].queue.put_nowait(payload)
+
+    # -- internals ----------------------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        assert self._loop is not None, "transport not started"
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _attempt(self, sender: int, recipient: int, payload: Any) -> bool:
+        """One attempt: sever/drop checks now, delivery after a delay.
+
+        An attempt that passes both checks is "on the wire" and will
+        arrive regardless of any later crash of the sender — in-flight
+        messages survive their sender.
+        """
+        self.stats.attempts += 1
+        if self.profile.severed(sender, recipient, self.now()):
+            self.stats.severed += 1
+            return False
+        if self.profile.drops(self.rng):
+            self.stats.dropped += 1
+            return False
+        delay = self.profile.sample_delay(self.rng)
+        self._spawn(self._deliver(recipient, payload, delay))
+        return True
+
+    async def _deliver(self, recipient: int, payload: Any, delay: float) -> None:
+        await asyncio.sleep(delay)
+        if recipient in self.crashed:
+            self.stats.dead_letters += 1
+            return
+        self.stats.delivered += 1
+        self.inboxes[recipient].queue.put_nowait(payload)
+
+    async def _send_reliable(
+        self, sender: int, recipient: int, payload: Any
+    ) -> None:
+        first = True
+        while sender not in self.crashed:
+            if not first:
+                self.stats.retransmits += 1
+            first = False
+            if self._attempt(sender, recipient, payload):
+                return
+            await asyncio.sleep(self.rto_s)

@@ -169,11 +169,40 @@ class SPEmulationHarness:
         return _emulation_extras(trace)
 
 
+class LiveHarness:
+    """The asyncio cluster runtime (heartbeat-built P) behind the seam.
+
+    The run is wall-clock nondeterministic; its trace is serialized
+    into logical order post-hoc and replayed into the observer, so the
+    same oracle suite that checks the logical engines checks live runs.
+    """
+
+    engine = "live"
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        from repro.live.harness import run_live_request
+
+        return run_live_request(request, observer=observer)
+
+    def summarize(self, run: Any):
+        return dict(run.decisions), run.latency, run.num_rounds
+
+    def extras(self, run: Any) -> dict[str, Any]:
+        return {"live": run.stats_dict()}
+
+
 #: Engine name → harness singleton.  Harnesses are stateless, so one
 #: instance serves every worker.
 HARNESSES: Mapping[str, Any] = {
     harness.engine: harness
-    for harness in (RoundHarness(), SSEmulationHarness(), SPEmulationHarness())
+    for harness in (
+        RoundHarness(),
+        SSEmulationHarness(),
+        SPEmulationHarness(),
+        LiveHarness(),
+    )
 }
 
 

@@ -43,7 +43,7 @@ from repro.serialize import (
 CACHE_SCHEMA_VERSION = 2
 
 #: The engines a request may target.
-ENGINES = ("rounds", "rs_on_ss", "rws_on_sp")
+ENGINES = ("rounds", "rs_on_ss", "rws_on_sp", "live")
 
 
 @dataclass(frozen=True)
@@ -54,14 +54,17 @@ class ExecutionRequest:
         name: Human-readable cell label (unique within a space).
         engine: ``"rounds"`` (the RS/RWS round executor),
             ``"rs_on_ss"`` or ``"rws_on_sp"`` (the Section 4
-            emulations on the step kernels).
+            emulations on the step kernels), or ``"live"`` (the
+            asyncio cluster runtime with heartbeat-built P).
         algorithm: Registry key (see :mod:`repro.runtime.registry`).
         values: Initial value per process; fixes ``n``.
         t: Resilience parameter.
         model: ``"RS"`` or ``"RWS"`` for the rounds engine; ``None``
             for the emulations (implied by the engine).
         scenario: The round-model adversary (rounds engine only).
-        pattern: The step-time failure pattern (emulations only).
+        pattern: The step-time failure pattern (emulations and live;
+            the live engine reads crash times as units of 10 ms wall
+            clock).
         max_rounds: Round horizon.
         seed: RNG seed for the randomized step schedulers (emulations
             only; the rounds engine is fully deterministic).
@@ -105,7 +108,8 @@ class ExecutionRequest:
         else:
             if self.pattern is None:
                 raise ConfigurationError(
-                    f"{self.name}: emulation engines need a failure pattern"
+                    f"{self.name}: the emulation and live engines need a "
+                    "failure pattern"
                 )
         object.__setattr__(self, "values", tuple(self.values))
         object.__setattr__(

@@ -52,11 +52,14 @@ def check_model_for(request: ExecutionRequest) -> str | None:
     deadline arithmetic is validated by its dedicated checker), so only
     the model-agnostic invariants run; the SP emulation lifts pending
     messages into ``msg_withheld`` events and must satisfy weak round
-    synchrony.
+    synchrony.  The live engine's P-synchronizer likewise realizes RWS
+    — sends a recipient never consumed become ``msg_withheld`` with the
+    Lemma 4.1 crash bound (its step-mode traces carry no withheld
+    events, so the checker is vacuous there).
     """
     if request.engine == "rounds":
         return request.model
-    if request.engine == "rws_on_sp":
+    if request.engine in ("rws_on_sp", "live"):
         return "RWS"
     return None
 
@@ -98,7 +101,7 @@ def check_cell(
     """Run the trace oracle over one cell's events."""
     initial_values = (
         request.values
-        if request.engine == "rounds" and request.check_consensus
+        if request.engine in ("rounds", "live") and request.check_consensus
         else None
     )
     report = check_events(

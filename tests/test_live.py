@@ -1,0 +1,268 @@
+"""Tests for the live asyncio cluster runtime (`repro.live`).
+
+The live engine is wall-clock nondeterministic, so these tests assert
+*properties*, not bytes: every serialized trace must satisfy the PR-2
+oracle (ordering, detector axioms, weak round synchrony, consensus),
+decisions must agree, detection quality must be sane, and the unified
+runtime / fuzz integrations must accept the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures.pattern import FailurePattern
+from repro.fuzz import generate_case, resolve_engines
+from repro.live import (
+    DetectorConfig,
+    LiveCluster,
+    LiveConfig,
+    NET_PROFILES,
+    config_from_request,
+    profile_by_name,
+)
+from repro.live.profiles import PartitionWindow
+from repro.obs.check import check_events
+from repro.obs.events import EventLog, logical_clock
+from repro.runtime.harness import execute_request
+from repro.runtime.request import ExecutionRequest
+from repro.runtime.space import space_by_name
+from repro.runtime.sweep import check_cell, run_space
+
+
+def run_and_check(config: LiveConfig):
+    """Run a cluster, serialize its trace, and apply the trace oracle."""
+    run = LiveCluster(config).run()
+    log = EventLog(clock=logical_clock())
+    run.replay_into(log)
+    report = check_events(
+        log.events, model="RWS", initial_values=config.values
+    )
+    assert report.ok, "\n".join(v.describe() for v in report.errors)
+    return run, log
+
+
+class TestProfiles:
+    def test_catalogue_names(self):
+        assert set(NET_PROFILES) == {"lan", "lossy", "adversarial"}
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_by_name("wan")
+
+    def test_partition_severs_exactly_cross_group_links(self):
+        window = PartitionWindow(start_s=1.0, end_s=2.0, group=frozenset({0}))
+        assert window.severs(0, 3, 1.5)
+        assert window.severs(3, 0, 1.5)
+        assert not window.severs(2, 3, 1.5)  # both outside the group
+        assert not window.severs(0, 3, 2.5)  # window over
+
+    def test_adversarial_profile_has_a_partition(self):
+        assert NET_PROFILES["adversarial"].partitions
+
+
+class TestConfigValidation:
+    def test_needs_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(
+                algorithm="floodset",
+                values=(1,),
+                profile=profile_by_name("lan"),
+            )
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(
+                algorithm="paxos",
+                values=(0, 1),
+                profile=profile_by_name("lan"),
+            )
+
+    def test_chandra_toueg_needs_correct_majority(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(
+                algorithm="chandra-toueg",
+                values=(0, 1, 0, 1),
+                t=2,
+                profile=profile_by_name("lan"),
+            )
+
+    def test_rejects_double_crash(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(
+                algorithm="floodset",
+                values=(0, 1, 0),
+                profile=profile_by_name("lan"),
+                crash_at=((1, 0.0), (1, 0.1)),
+            )
+
+    def test_detector_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(kind="strong")
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(miss_threshold=0)
+
+
+class TestTraceOracle:
+    """Satellite: live traces pass `repro check` invariants across all
+    three net profiles, including the adversarial one."""
+
+    @pytest.mark.parametrize("profile", sorted(NET_PROFILES))
+    def test_floodset_with_crash_passes_oracle(self, profile):
+        config = LiveConfig(
+            algorithm="floodset",
+            values=(3, 1, 2, 0),
+            profile=profile_by_name(profile),
+            t=1,
+            # On the fast profile the run can finish before a late
+            # fault fires, so crash immediately there.
+            crash_at=((1, 0.0 if profile == "lan" else 0.03),),
+            max_rounds=4,
+            seed=7,
+        )
+        run, log = run_and_check(config)
+        assert run.crash_walls.keys() == {1}
+        decided = {value for _, value in run.decisions.values()}
+        assert len(decided) == 1
+        assert set(run.decisions) == {0, 2, 3}
+
+    def test_adversarial_partition_actually_severs(self):
+        config = LiveConfig(
+            algorithm="floodset-ws",
+            values=(0, 1, 0, 1),
+            profile=profile_by_name("adversarial"),
+            t=1,
+            crash_at=((2, 0.05),),
+            max_rounds=2,
+            seed=3,
+            sessions=4,
+            concurrency=2,
+        )
+        run, _ = run_and_check(config)
+        assert run.transport_stats.severed > 0
+        assert run.detector_summary["false_suspicions"] == 0
+
+    def test_crash_free_run_is_quiet(self):
+        config = LiveConfig(
+            algorithm="floodset-ws",
+            values=(0, 1, 0),
+            profile=profile_by_name("lan"),
+            max_rounds=2,
+            seed=1,
+        )
+        run, _ = run_and_check(config)
+        assert run.crash_walls == {}
+        assert run.detector_summary["suspicions"] == 0
+        assert set(run.decisions) == {0, 1, 2}
+
+    def test_detection_quality_is_reported(self):
+        config = LiveConfig(
+            algorithm="floodset",
+            values=(1, 0, 1, 0),
+            profile=profile_by_name("lossy"),
+            crash_at=((0, 0.02),),
+            seed=9,
+        )
+        run, _ = run_and_check(config)
+        quality = run.detector_summary
+        assert quality["suspicions"] >= 1
+        assert quality["false_suspicions"] == 0
+        assert quality["detection_delay_ms"]["mean"] > 0
+        assert run.transport_stats.heartbeats_sent > 0
+
+
+class TestChandraToueg:
+    def test_step_mode_with_dead_coordinator(self):
+        config = LiveConfig(
+            algorithm="chandra-toueg",
+            values=(5, 7, 7),
+            profile=profile_by_name("lossy"),
+            detector=DetectorConfig(kind="ep"),
+            crash_at=((0, 0.0),),
+            seed=5,
+        )
+        run, log = run_and_check(config)
+        # p0 was the round-1 coordinator; the survivors must rotate past
+        # it and agree on a surviving value.
+        assert {value for _, value in run.decisions.values()} == {7}
+        assert set(run.decisions) == {1, 2}
+        assert any(e.kind == "suspect" for e in log.events)
+
+
+class TestLoadMode:
+    def test_many_sessions_all_complete_and_agree(self):
+        config = LiveConfig(
+            algorithm="floodset-ws",
+            values=(0, 1, 0, 1),
+            profile=profile_by_name("lan"),
+            max_rounds=2,
+            seed=2,
+            sessions=16,
+            concurrency=8,
+        )
+        run = LiveCluster(config).run()
+        assert run.sessions_completed == 16
+        assert run.total_decisions() == 16 * 4
+        for entries in run.all_decisions.values():
+            assert len({value for _, value in entries.values()}) == 1
+        stats = run.stats_dict()
+        assert stats["decisions_per_s"] > 0
+
+
+class TestRuntimeIntegration:
+    def request(self, **overrides):
+        base = dict(
+            name="live-cell",
+            engine="live",
+            algorithm="floodset",
+            values=(3, 1, 2, 0),
+            t=1,
+            pattern=FailurePattern.with_crashes(4, {1: 3}),
+            max_rounds=4,
+            seed=7,
+            params=(("net_profile", "lossy"),),
+        )
+        base.update(overrides)
+        return ExecutionRequest(**base)
+
+    def test_crash_times_are_centiseconds(self):
+        config = config_from_request(self.request())
+        assert config.crash_at == ((1, 0.03),)
+        assert config.profile.name == "lossy"
+
+    def test_unknown_param_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_request(
+                self.request(params=(("delivery_prob", 0.5),))
+            )
+
+    def test_execute_request_runs_live_and_checks(self):
+        request = self.request()
+        result = execute_request(request)
+        assert result.decisions
+        assert result.extra["live"]["profile"] == "lossy"
+        assert result.extra["live"]["decisions"] == len(result.decisions)
+        verdict = check_cell(request, result)
+        assert verdict.ok, verdict.describe()
+
+    def test_live_smoke_space_is_oracle_clean(self):
+        sweep = run_space(space_by_name("live-smoke"), check=True)
+        assert sweep.total == 5
+        assert sweep.checks_ok, sweep.describe()
+
+
+class TestFuzzIntegration:
+    def test_live_engine_is_opt_in(self):
+        assert "live" not in resolve_engines(("all",))
+        assert resolve_engines(("live",)) == ("live",)
+
+    def test_generated_live_cases_are_well_formed(self):
+        for index in range(8):
+            request = generate_case(index, seed=0, engine="live")
+            assert request.engine == "live"
+            config = config_from_request(request)
+            assert config.n >= 3
+            assert len(config.crash_at) <= request.t

@@ -1,0 +1,173 @@
+"""Direct unit tests for the adaptive ◊P module (`failures/timeout_ep.py`).
+
+`test_partial_synchrony.py` exercises the detector through the GST
+scheduler; here the module is driven step by step with hand-crafted
+contexts, so each transition of the suspect/refute/backoff machine is
+pinned down exactly — in particular *eventual* strong accuracy under
+heartbeats that are persistently late by a fixed gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import AdaptiveTimeoutDetector
+from repro.simulation.automaton import StepContext
+from repro.simulation.message import Message
+
+
+def step(detector, pid, state, received=(), n=None):
+    """Drive one ``on_step`` with a crafted context."""
+    outcome = detector.on_step(
+        StepContext(
+            pid=pid,
+            n=n or detector.n,
+            state=state,
+            received=tuple(received),
+            local_step=state.local_step + 1,
+        )
+    )
+    return outcome
+
+
+def heartbeat(sender, recipient, uid=0):
+    return Message(
+        uid=uid,
+        sender=sender,
+        recipient=recipient,
+        payload="heartbeat",
+        sent_step=0,
+    )
+
+
+class TestConstruction:
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutDetector(1)
+
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutDetector(3, initial_timeout=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutDetector(3, backoff=0)
+
+    def test_initial_state_covers_exactly_the_peers(self):
+        detector = AdaptiveTimeoutDetector(4, initial_timeout=7)
+        state = detector.initial_state(2, 4)
+        assert set(state.last_heard) == {0, 1, 3}
+        assert all(t == 7 for t in state.timeouts.values())
+        assert state.suspected == frozenset()
+
+
+class TestSuspicion:
+    def test_silence_crosses_the_timeout(self):
+        """With no heartbeats, a peer is suspected exactly one step
+        after its silence exceeds the timeout — and not before."""
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=3)
+        state = detector.initial_state(0, 2)
+        for expected_step in range(1, 4):
+            state = step(detector, 0, state).state
+            assert state.local_step == expected_step
+            assert state.suspected == frozenset()
+        state = step(detector, 0, state).state
+        assert state.suspected == {1}
+
+    def test_heartbeat_resets_the_silence_clock(self):
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=3)
+        state = detector.initial_state(0, 2)
+        for _ in range(3):
+            state = step(detector, 0, state).state
+        state = step(detector, 0, state, [heartbeat(1, 0)]).state
+        assert state.suspected == frozenset()
+        assert state.last_heard[1] == state.local_step
+
+    def test_emits_round_robin_heartbeats(self):
+        detector = AdaptiveTimeoutDetector(4)
+        state = detector.initial_state(1, 4)
+        targets = []
+        for _ in range(6):
+            outcome = step(detector, 1, state)
+            state = outcome.state
+            targets.append(outcome.send_to)
+            assert outcome.payload == "heartbeat"
+        assert targets == [0, 2, 3, 0, 2, 3]
+
+
+class TestRefutation:
+    def _suspect_then_refute(self, detector, state, cycles):
+        """Starve p0 of heartbeats until it suspects p1, then deliver a
+        late heartbeat; repeat ``cycles`` times."""
+        for _ in range(cycles):
+            while 1 not in state.suspected:
+                state = step(detector, 0, state).state
+            state = step(detector, 0, state, [heartbeat(1, 0)]).state
+            assert 1 not in state.suspected
+        return state
+
+    def test_late_heartbeat_refutes_and_backs_off(self):
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=2, backoff=5)
+        state = detector.initial_state(0, 2)
+        state = self._suspect_then_refute(detector, state, cycles=1)
+        assert state.timeouts[1] == 2 + 5
+
+    def test_backoff_accumulates_per_mistake(self):
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=2, backoff=3)
+        state = detector.initial_state(0, 2)
+        state = self._suspect_then_refute(detector, state, cycles=4)
+        assert state.timeouts[1] == 2 + 4 * 3
+
+    def test_backoff_is_per_peer(self):
+        """Refuting a suspicion of p1 must not touch p2's timeout."""
+        detector = AdaptiveTimeoutDetector(3, initial_timeout=2, backoff=3)
+        state = detector.initial_state(0, 3)
+        while 1 not in state.suspected:
+            # p2 keeps beating, p1 stays silent.
+            state = step(detector, 0, state, [heartbeat(2, 0)]).state
+        state = step(detector, 0, state, [heartbeat(1, 0)]).state
+        assert state.timeouts[1] == 2 + 3
+        assert state.timeouts[2] == 2
+
+
+class TestEventualAccuracy:
+    def test_persistently_late_heartbeats_stop_causing_mistakes(self):
+        """A peer whose heartbeats arrive every ``gap`` steps with
+        ``gap > initial_timeout`` is falsely suspected a few times; each
+        mistake backs the timeout off, and once it exceeds the gap no
+        further suspicion ever occurs — ◊P's eventual strong accuracy,
+        with a mistake phase that is provably non-empty."""
+        gap, initial, backoff = 9, 2, 3
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=initial, backoff=backoff)
+        state = detector.initial_state(0, 2)
+        suspicion_steps = []
+        previously_suspected = False
+        for global_step in range(1, 20 * gap + 1):
+            received = [heartbeat(1, 0)] if global_step % gap == 0 else []
+            state = step(detector, 0, state, received).state
+            if 1 in state.suspected and not previously_suspected:
+                suspicion_steps.append(global_step)
+            previously_suspected = 1 in state.suspected
+        assert suspicion_steps, "gap never exceeded the timeout: test too tame"
+        # A heartbeat is processed before the silence check, so the
+        # worst silence a peer shows is gap - 1 steps; once the timeout
+        # reaches that, mistakes stop for good.
+        assert state.timeouts[1] >= gap - 1
+        stabilised = suspicion_steps[-1]
+        assert stabilised < 10 * gap
+        assert 1 not in state.suspected
+        # Exactly ceil((gap - 1 - initial) / backoff) mistakes needed.
+        assert len(suspicion_steps) == -(-(gap - 1 - initial) // backoff)
+
+    def test_completeness_holds_forever(self):
+        """A peer that stops beating is suspected and, with no late
+        heartbeat possible, never trusted again — no matter how large
+        its timeout got beforehand."""
+        detector = AdaptiveTimeoutDetector(2, initial_timeout=2, backoff=10)
+        state = detector.initial_state(0, 2)
+        # One refuted mistake first, so the timeout is non-trivial.
+        while 1 not in state.suspected:
+            state = step(detector, 0, state).state
+        state = step(detector, 0, state, [heartbeat(1, 0)]).state
+        for _ in range(50):
+            state = step(detector, 0, state).state
+        assert 1 in state.suspected
