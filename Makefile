@@ -1,4 +1,4 @@
-.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -92,6 +92,23 @@ live-smoke:
 	PYTHONPATH=src timeout 120 python -m repro sweep live-smoke --check
 	PYTHONPATH=src python scripts/bench_report.py $(LIVE_SMOKE_METRICS) \
 		-o BENCH_PR5.json
+
+REPORT_SMOKE_RUNS ?= /tmp/repro_report_smoke_runs
+
+# The run-artifact pipeline end to end: a small checked sweep writes a
+# run directory, the resumed second leg must re-execute nothing (the
+# summary's own counters prove it), and the machine report must pass
+# the schema/SLO validator both from disk and over the --json stream.
+report-smoke:
+	rm -rf $(REPORT_SMOKE_RUNS)
+	PYTHONPATH=src python -m repro sweep oracle-sweep --check \
+		--run-dir $(REPORT_SMOKE_RUNS)
+	PYTHONPATH=src python -m repro sweep oracle-sweep --check \
+		--run-dir $(REPORT_SMOKE_RUNS) | tee /dev/stderr | grep -q "executed 0,"
+	PYTHONPATH=src python -m repro report $(REPORT_SMOKE_RUNS)
+	PYTHONPATH=src python scripts/check_summary.py $(REPORT_SMOKE_RUNS)
+	PYTHONPATH=src python -m repro report $(REPORT_SMOKE_RUNS) --json | \
+		PYTHONPATH=src python scripts/check_summary.py -
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -4,9 +4,18 @@ Times the cold serial sweep, a pool-backed sweep, and the cache-warm
 re-run (which must execute zero scenarios).  The profiler breakdown
 (``runtime.sweep``, ``runtime.sweep.execute``, ``runtime.sweep.check``)
 lands in ``benchmarks/metrics.jsonl`` alongside the engine spans.
+
+``bench_sweep_with_run_dir`` bounds the telemetry overhead: the full
+artifact pipeline (manifest, per-cell metrics lines, progress
+heartbeats, summary + SLO verdicts) rides the same sweep, so its cost
+relative to ``bench_sweep_serial_cold`` is the price of a run
+directory.
 """
 
-from repro.runtime import SweepRunner, oracle_sweep_space
+from repro.obs.artifacts import RunDir, identity_for_requests
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import summarize_sweep, summary_problems
+from repro.runtime import ResultCache, SweepRunner, oracle_sweep_space
 
 
 def bench_sweep_serial_cold(once):
@@ -35,3 +44,42 @@ def bench_sweep_checked(once):
     space = oracle_sweep_space(count=5)
     result = once(SweepRunner(jobs=1, check=True).run, space)
     assert result.checks_ok, result.describe()
+
+
+def bench_sweep_with_run_dir(once, tmp_path):
+    space = oracle_sweep_space(count=5)
+    requests = space.requests
+
+    def instrumented_sweep():
+        run = RunDir.open(
+            tmp_path / "runs",
+            kind="sweep",
+            name=space.name,
+            identity=identity_for_requests(requests),
+            cells=[(r.name, r.cache_key()) for r in requests],
+        )
+        reporter = ProgressReporter(
+            total=len(requests), path=run.progress_path, interval_s=60.0
+        ).start()
+
+        def on_cell(request, result):
+            profile = result.extra.get("profile") or {}
+            run.record_cell(
+                name=request.name,
+                key=result.request_key,
+                cached=result.cached,
+                engine=request.engine,
+                duration_s=profile.get("duration_s"),
+            )
+            reporter.advance(cached=result.cached)
+
+        sweep = SweepRunner(
+            jobs=1, cache=ResultCache(run.results_dir), on_cell=on_cell
+        ).run(space)
+        run.finalize(summarize_sweep(run, sweep, completed_before=set()))
+        reporter.stop()
+        return run, sweep
+
+    run, sweep = once(instrumented_sweep)
+    assert sweep.executed == sweep.total
+    assert summary_problems(run.summary()) == []

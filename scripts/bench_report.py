@@ -12,6 +12,13 @@ per-span ``count``, ``mean_s``, ``p50_s`` and ``p95_s``.  Older
 metrics files without ``p50_s`` are accepted (the field is reported as
 ``null``), so the report can be regenerated from any run's output.
 
+The report also carries a cross-PR ``trajectory`` section: every
+committed ``BENCH_*.json`` snapshot in the repo root is merged, and
+each span seen by at least two snapshots gets its ``mean_s`` series in
+snapshot order — the per-span performance history across the PR
+sequence, so regressions show up as a step in the series rather than
+by diffing snapshot files.  ``--no-trajectory`` skips it.
+
 Exits 0 on success, 2 on usage or parse errors.
 """
 
@@ -75,6 +82,52 @@ def build_report(spans: dict[str, dict], source: str) -> dict:
     return report
 
 
+def load_snapshots(root: Path, skip: Path | None = None) -> dict[str, dict]:
+    """Committed ``BENCH_*.json`` snapshots, keyed by label, name order.
+
+    ``skip`` excludes the output being (re)written so the trajectory
+    only covers *prior* snapshots plus the fresh spans appended by the
+    caller.  Unreadable snapshots are skipped — a half-written file
+    must not break report generation.
+    """
+    snapshots: dict[str, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if skip is not None and path.resolve() == skip.resolve():
+            continue
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        spans = data.get("spans")
+        if isinstance(spans, dict):
+            snapshots[path.stem] = spans
+    return snapshots
+
+
+def build_trajectory(snapshots: dict[str, dict]) -> dict | None:
+    """The cross-snapshot ``mean_s`` series of every shared span."""
+    if len(snapshots) < 2:
+        return None
+    labels = list(snapshots)
+    seen: dict[str, int] = {}
+    for spans in snapshots.values():
+        for name in spans:
+            seen[name] = seen.get(name, 0) + 1
+    shared = sorted(name for name, count in seen.items() if count >= 2)
+    if not shared:
+        return None
+    return {
+        "snapshots": labels,
+        "mean_s": {
+            name: [
+                (snapshots[label].get(name) or {}).get("mean_s")
+                for label in labels
+            ]
+            for name in shared
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -89,6 +142,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_OUTPUT),
         help="where to write the summary (default: BENCH_PR5.json)",
     )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip the cross-PR trajectory over committed BENCH_*.json",
+    )
     args = parser.parse_args(argv)
     metrics_path = Path(args.metrics)
     try:
@@ -101,6 +159,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     report = build_report(spans, metrics_path.name)
     output = Path(args.output)
+    if not args.no_trajectory:
+        snapshots = load_snapshots(output.resolve().parent, skip=output)
+        snapshots[output.stem] = report["spans"]
+        trajectory = build_trajectory(snapshots)
+        if trajectory is not None:
+            report["trajectory"] = trajectory
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output} ({len(spans)} spans)")
     return 0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Validate a campaign run directory's machine report.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_summary.py RUNDIR
+    ... | PYTHONPATH=src python scripts/check_summary.py -
+
+Two input forms: a run directory (or a runs root holding exactly one
+run), whose manifest + ``summary.json`` are loaded directly, or ``-``
+to read a ``repro report RUNDIR --json`` document from stdin.  The
+validation is :func:`repro.obs.report.summary_problems` — the schema
+and consistency assertions over ``summary.json`` (coverage arithmetic,
+resume counters, SLO verdict shape) — plus manifest/summary identity
+agreement, the report-pipeline analogue of ``check_trace.py``.
+
+Exits 0 when the summary is valid, 1 otherwise (listing each problem),
+2 on usage errors.  Used by ``make report-smoke`` and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        from repro.obs.artifacts import RunDir
+        from repro.obs.report import find_run_dir, summary_problems
+    except ImportError:
+        print(
+            "cannot import repro.obs — run with PYTHONPATH=src or after "
+            "`pip install -e .`",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args[0] == "-":
+        try:
+            document = json.load(sys.stdin)
+        except ValueError as exc:
+            print(f"stdin is not a JSON report document: {exc}", file=sys.stderr)
+            return 2
+        manifest = document.get("manifest") or {}
+        summary = document.get("summary")
+        label = "<stdin>"
+    else:
+        try:
+            run = RunDir.load(find_run_dir(args[0]))
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"cannot load run: {exc}", file=sys.stderr)
+            return 2
+        manifest = run.manifest
+        summary = run.summary()
+        label = str(run.path)
+
+    problems = list(summary_problems(summary))
+    if summary is None:
+        problems = [f"{label}: no summary.json (run not finalized?)"]
+    else:
+        if manifest.get("run_id") != summary.get("run_id"):
+            problems.append(
+                f"manifest/summary run_id mismatch: "
+                f"{manifest.get('run_id')!r} vs {summary.get('run_id')!r}"
+            )
+        if manifest.get("kind") != summary.get("kind"):
+            problems.append(
+                f"manifest/summary kind mismatch: "
+                f"{manifest.get('kind')!r} vs {summary.get('kind')!r}"
+            )
+        failed = [
+            v for v in summary.get("slo_verdicts", []) if not v.get("ok")
+        ]
+        for verdict in failed:
+            problems.append(
+                f"SLO failed: {verdict.get('slo')} "
+                f"(actual {verdict.get('actual')} vs "
+                f"threshold {verdict.get('threshold')})"
+            )
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{label}: INVALID ({len(problems)} problems)")
+        return 1
+    print(f"{label}: OK (summary schema + SLO verdicts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
 """Subcommands over the experiment registry and the analysis tables:
-``experiments``, ``report``, ``summary``, ``sdd``, ``commit``,
-``latency``."""
+``experiments``, ``summary``, ``sdd``, ``commit``, ``latency``.
+
+The ``report`` subcommand is registered by :mod:`repro.cli.report`
+(which delegates its legacy EXPERIMENTS.md mode to
+:func:`_cmd_report` here)."""
 
 from __future__ import annotations
 
@@ -136,13 +139,6 @@ def register(sub: argparse._SubParsersAction) -> None:
         help="worker processes for the full suite (default: 1, serial)",
     )
     p_exp.set_defaults(func=_cmd_experiments)
-
-    p_report = sub.add_parser(
-        "report", help="regenerate EXPERIMENTS.md from live runs"
-    )
-    p_report.add_argument("--output", default="EXPERIMENTS.md")
-    p_report.add_argument("--full", action="store_true")
-    p_report.set_defaults(func=_cmd_report)
 
     p_summary = sub.add_parser("summary", help="headline latency table")
     p_summary.add_argument("--n", type=int, default=3)

@@ -35,6 +35,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             out_dir=args.out,
             shrink_failures=not args.no_shrink,
             max_n=args.max_n,
+            run_root=args.run_dir,
+            progress_stream=sys.stderr if args.run_dir else None,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -85,6 +87,15 @@ def register(sub: argparse._SubParsersAction) -> None:
         help=(
             "result cache; also enables the cold-vs-warm cache parity "
             "oracle"
+        ),
+    )
+    p_fuzz.add_argument(
+        "--run-dir",
+        metavar="ROOT",
+        help=(
+            "write a content-addressed run directory under ROOT; its "
+            "results/ store caches the campaign's cases, so a killed "
+            "campaign re-invoked with the same budget/seed resumes"
         ),
     )
     p_fuzz.add_argument(

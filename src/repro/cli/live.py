@@ -6,7 +6,9 @@ the selected algorithm over live channels, and reports decisions,
 throughput and detector quality.  ``--check`` serializes the run's
 trace into logical order and pipes it through the PR-2 trace oracle;
 ``--load N`` runs N consensus sessions over one cluster for a
-throughput figure.
+throughput figure; ``--run-dir ROOT`` writes the run's artifacts
+(per-session metrics, progress heartbeats, latency percentiles and
+live SLO verdicts) for ``repro report``.
 """
 
 from __future__ import annotations
@@ -25,9 +27,12 @@ from repro.live import (
 )
 from repro.live.cluster import LIVE_ALGORITHMS
 from repro.obs import Profiler, get_profiler, set_profiler
+from repro.obs.artifacts import DEFAULT_LIVE_SLO, RunDir
 from repro.obs.check import check_events
 from repro.obs.events import EventLog, logical_clock
 from repro.obs.profile import profiled
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import summarize_live
 
 
 def _parse_values(args: argparse.Namespace) -> tuple[int, ...]:
@@ -82,15 +87,80 @@ def _cmd_live(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    run_dir = None
+    reporter = None
+    on_session_done = None
+    if args.run_dir is not None:
+        # Live runs are wall-clock: the identity is the configuration,
+        # not result hashes — re-invoking the same config re-attaches
+        # to the same run directory as a new leg.
+        identity = {
+            "algorithm": config.algorithm,
+            "values": list(config.values),
+            "profile": config.profile.name,
+            "t": config.t,
+            "detector": [config.detector.kind, config.detector.interval_s,
+                         config.detector.miss_threshold, config.detector.backoff],
+            "crash_at": [list(crash) for crash in config.crash_at],
+            "max_rounds": config.max_rounds,
+            "seed": config.seed,
+            "sessions": config.sessions,
+        }
+        run_dir = RunDir.open(
+            args.run_dir,
+            kind="live",
+            name=f"live-{config.profile.name}-{config.algorithm}",
+            identity=identity,
+            cells=[
+                (f"session-{i}", f"session-{i}")
+                for i in range(config.sessions)
+            ],
+            config=identity,
+            slo=DEFAULT_LIVE_SLO,
+        )
+        reporter = ProgressReporter(
+            total=config.sessions,
+            path=run_dir.progress_path,
+            stream=sys.stderr,
+            label=f"live-{config.profile.name}",
+        ).start()
+
+        def on_session_done(session: int, wall_s: float, complete: bool) -> None:
+            run_dir.record_cell(
+                name=f"session-{session}",
+                key=f"session-{session}",
+                cached=False,
+                engine="live",
+                algorithm=config.algorithm,
+                latency=None,
+                num_rounds=None,
+                events=0,
+                duration_s=wall_s,
+                ok=complete,
+            )
+            reporter.advance(
+                verdict="complete" if complete else "incomplete"
+            )
+
     own_profiler = get_profiler() is None
     if own_profiler:
         set_profiler(Profiler())
     try:
         with profiled(f"live.cli.{config.profile.name}.{config.algorithm}"):
-            run = LiveCluster(config).run()
+            run = LiveCluster(config, on_session_done=on_session_done).run()
     except ExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if run_dir is not None:
+            run_dir.mark_interrupted()
+        if reporter is not None:
+            reporter.stop(status="interrupted")
         return 2
+    except BaseException:
+        if run_dir is not None:
+            run_dir.mark_interrupted()
+        if reporter is not None:
+            reporter.stop(status="interrupted")
+        raise
     finally:
         profiler = get_profiler()
         if own_profiler:
@@ -137,6 +207,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         print(f"appended span metrics to {args.metrics}")
 
     exit_code = 0
+    oracle_failed = None
     if args.check or args.jsonl:
         log = EventLog(clock=logical_clock())
         run.replay_into(log)
@@ -150,8 +221,26 @@ def _cmd_live(args: argparse.Namespace) -> int:
                 log.events, model="RWS", initial_values=config.values
             )
             print(report.describe())
+            oracle_failed = 0 if report.ok else len(report.errors)
             if not report.ok:
                 exit_code = 1
+
+    if run_dir is not None:
+        summary = summarize_live(
+            run_dir,
+            stats,
+            session_latencies_ms=run.session_latencies_ms(),
+            detection_delays_ms=run.detection_delays_ms(),
+            oracle_failed=oracle_failed,
+            extra_spans=profiler.snapshot() if profiler is not None else None,
+        )
+        run_dir.finalize(summary)
+        reporter.stop()
+        print(
+            f"run artifacts: {run_dir.path} (inspect with `repro report`)"
+        )
+        if any(not v.get("ok") for v in summary.get("slo_verdicts", ())):
+            exit_code = exit_code or 1
     return exit_code
 
 
@@ -251,5 +340,14 @@ def register(sub: argparse._SubParsersAction) -> None:
         "--metrics",
         metavar="PATH",
         help="append this run's profiler span breakdown to PATH (JSONL)",
+    )
+    p_live.add_argument(
+        "--run-dir",
+        metavar="ROOT",
+        help=(
+            "write a content-addressed run directory under ROOT "
+            "(per-session metrics, heartbeats, latency percentiles, "
+            "live SLO verdicts); same config re-attaches as a new leg"
+        ),
     )
     p_live.set_defaults(func=_cmd_live)

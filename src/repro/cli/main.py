@@ -3,8 +3,8 @@
 This module is the thin dispatcher; each subcommand lives in its own
 module under :mod:`repro.cli` and registers itself via ``register``:
 
-* :mod:`repro.cli.experiments` — ``experiments``, ``report``,
-  ``summary``, ``sdd``, ``commit``, ``latency``.
+* :mod:`repro.cli.experiments` — ``experiments``, ``summary``,
+  ``sdd``, ``commit``, ``latency``.
 * :mod:`repro.cli.show` — ``show SCENARIO`` (round tableau / DOT).
 * :mod:`repro.cli.trace` — ``trace`` (JSONL export) and ``metrics``.
 * :mod:`repro.cli.check` — ``check`` (trace oracle), ``replay``
@@ -15,6 +15,9 @@ module under :mod:`repro.cli` and registers itself via ``register``:
   engines, with counterexample shrinking).
 * :mod:`repro.cli.live` — ``live`` (a real asyncio cluster with
   heartbeat-built P and network fault injection).
+* :mod:`repro.cli.report` — ``report`` (run-directory dashboard, or
+  the legacy EXPERIMENTS.md regeneration when no run is named) and
+  ``top`` (tail a running campaign's heartbeats).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.cli import check as _check
 from repro.cli import experiments as _experiments
 from repro.cli import fuzz as _fuzz
 from repro.cli import live as _live
+from repro.cli import report as _report
 from repro.cli import show as _show
 from repro.cli import sweep as _sweep
 from repro.cli import trace as _trace
@@ -50,7 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (_experiments, _show, _trace, _check, _sweep, _fuzz, _live):
+    for module in (
+        _experiments,
+        _show,
+        _trace,
+        _check,
+        _sweep,
+        _fuzz,
+        _live,
+        _report,
+    ):
         module.register(sub)
     return parser
 

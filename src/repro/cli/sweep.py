@@ -3,7 +3,12 @@
 Spaces come from the runtime catalogue (``repro sweep --list``); the
 runner executes them serially or across a process pool, optionally
 backed by the on-disk result cache, and can pipe every produced trace
-through the trace oracle.
+through the trace oracle.  With ``--run-dir ROOT`` the sweep writes a
+content-addressed run directory under ROOT (manifest, incremental
+``metrics.jsonl``, ``progress.jsonl`` heartbeats, final
+``summary.json`` with SLO verdicts) and uses its ``results/`` store as
+the cache — killing the sweep and re-invoking it resumes, skipping
+every completed cell; ``repro report`` renders the artifacts.
 """
 
 from __future__ import annotations
@@ -12,7 +17,10 @@ import argparse
 import sys
 
 from repro.errors import ConfigurationError
-from repro.runtime import SPACE_FACTORIES, SweepRunner, space_by_name
+from repro.obs.artifacts import RunDir, identity_for_requests
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import summarize_sweep
+from repro.runtime import ResultCache, SPACE_FACTORIES, SweepRunner, space_by_name
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -32,11 +40,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    run_dir = None
+    reporter = None
+    completed_before: set[str] = set()
+    on_cell = None
+    cache = args.cache_dir
+    if args.run_dir is not None:
+        requests = list(space.requests)
+        run_dir = RunDir.open(
+            args.run_dir,
+            kind="sweep",
+            name=space.name,
+            identity=identity_for_requests(requests),
+            cells=[(r.name, r.cache_key()) for r in requests],
+            config={
+                "space": args.space,
+                "count": args.count,
+                "seed": args.seed,
+                "check": bool(args.check),
+            },
+        )
+        completed_before = run_dir.completed_keys()
+        cache = ResultCache(run_dir.results_dir)
+        reporter = ProgressReporter(
+            total=len(requests),
+            path=run_dir.progress_path,
+            stream=sys.stderr,
+            label=space.name,
+        ).start()
+
+        def on_cell(request, result) -> None:
+            profile = result.extra.get("profile") or {}
+            run_dir.record_cell(
+                name=request.name,
+                key=result.request_key,
+                cached=result.cached,
+                engine=request.engine,
+                algorithm=request.algorithm,
+                latency=result.latency,
+                num_rounds=result.num_rounds,
+                events=len(result.events),
+                duration_s=profile.get("duration_s"),
+            )
+            reporter.advance(cached=result.cached)
+
     runner = SweepRunner(
-        jobs=args.jobs, cache=args.cache_dir, check=args.check
+        jobs=args.jobs, cache=cache, check=args.check, on_cell=on_cell
     )
-    result = runner.run(space)
+    try:
+        result = runner.run(space)
+    except BaseException:
+        if run_dir is not None:
+            run_dir.mark_interrupted()
+        if reporter is not None:
+            reporter.stop(status="interrupted")
+        raise
+    if run_dir is not None:
+        summary = summarize_sweep(
+            run_dir, result, completed_before=completed_before
+        )
+        run_dir.finalize(summary)
+        reporter.stop()
     print(result.describe())
+    if run_dir is not None:
+        print(
+            f"run artifacts: {run_dir.path} (inspect with `repro report`)"
+        )
     if args.jsonl:
         count = result.write_merged_jsonl(args.jsonl)
         print(f"wrote {count} merged events to {args.jsonl}")
@@ -74,6 +144,16 @@ def register(sub: argparse._SubParsersAction) -> None:
         "--cache-dir",
         metavar="DIR",
         help="on-disk result cache; repeated sweeps execute 0 scenarios",
+    )
+    p_sweep.add_argument(
+        "--run-dir",
+        metavar="ROOT",
+        help=(
+            "write a content-addressed run directory under ROOT "
+            "(manifest, metrics.jsonl, progress, summary.json); its "
+            "results/ store doubles as the cache, so interrupted "
+            "sweeps resume (overrides --cache-dir)"
+        ),
     )
     p_sweep.add_argument(
         "--check",

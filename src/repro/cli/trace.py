@@ -4,6 +4,7 @@ exports for a named scenario."""
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.cli.common import SCENARIOS, resolve_scenario, unknown_scenario
@@ -71,8 +72,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     finally:
         set_profiler(None)
     profiler.merge_into(registry)
-    print(f"{args.scenario}: {blurb}")
-    print(registry.render())
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(f"{args.scenario}: {blurb}")
+        print(registry.render())
     return 0
 
 
@@ -105,5 +109,13 @@ def register(sub: argparse._SubParsersAction) -> None:
         nargs="?",
         default="floodset-rws",
         help=f"one of {sorted(SCENARIOS)} (default: floodset-rws)",
+    )
+    p_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the full snapshot as JSON (histograms keep their "
+            "p50/p90/p99 summaries)"
+        ),
     )
     p_metrics.set_defaults(func=_cmd_metrics)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.errors import ConfigurationError
 from repro.fuzz.oracles import (
@@ -36,6 +36,9 @@ from repro.fuzz.oracles import (
     run_case,
     twin_request,
 )
+from repro.obs.artifacts import RunDir, identity_for_requests
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import summarize_fuzz
 from repro.fuzz.shrink import shrink
 from repro.fuzz.strategies import (
     FUZZ_ENGINES,
@@ -124,6 +127,9 @@ class FuzzReport:
     counterexamples: list[Counterexample] = field(default_factory=list)
     parity_problems: list[str] = field(default_factory=list)
     repro_files: list[str] = field(default_factory=list)
+    #: The campaign's run directory (``runs/<run_id>``), when artifacts
+    #: were requested.
+    run_dir: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +165,10 @@ class FuzzReport:
             lines.append("all per-case oracles ok")
         for path in self.repro_files:
             lines.append(f"wrote {path}")
+        if self.run_dir is not None:
+            lines.append(
+                f"run artifacts: {self.run_dir} (inspect with `repro report`)"
+            )
         return "\n".join(lines)
 
 
@@ -297,16 +307,102 @@ def run_campaign(
     shrink_failures: bool = True,
     max_shrink_attempts: int = 400,
     max_n: int = 4,
+    run_root: str | None = None,
+    progress_stream: Any = None,
 ) -> FuzzReport:
-    """Run one differential fuzzing campaign; see the module docstring."""
+    """Run one differential fuzzing campaign; see the module docstring.
+
+    With ``run_root`` the campaign writes a content-addressed run
+    directory under it (manifest, incremental ``metrics.jsonl``,
+    ``progress.jsonl`` heartbeats, final ``summary.json``), uses the
+    run's own ``results/`` store as the execution cache — so a killed
+    campaign re-invoked with the same parameters resumes, skipping
+    every already-completed case — and finalizes with SLO verdicts.
+    ``progress_stream`` additionally mirrors heartbeats to a stream
+    (the CLI passes stderr).
+    """
     if budget < 1:
         raise ConfigurationError("budget must be >= 1")
     engine_list = resolve_engines(engines)
     requests = generate_cases(budget, seed, engine_list, max_n=max_n)
 
-    runner = SweepRunner(jobs=jobs, cache=cache_dir, check=False)
-    sweep = runner.run(ScenarioSpace.explicit(f"fuzz-{seed}", requests))
-    twin_by_case = _twin_results(runner, requests, sweep.results)
+    run_dir: RunDir | None = None
+    reporter: ProgressReporter | None = None
+    completed_before: set[str] = set()
+    on_cell = None
+    sweep_cache: Any = cache_dir
+    if run_root is not None:
+        run_dir = RunDir.open(
+            run_root,
+            kind="fuzz",
+            name=f"fuzz-{seed}",
+            identity=identity_for_requests(requests),
+            cells=[(request.name, request.cache_key()) for request in requests],
+            config={
+                "budget": budget,
+                "seed": seed,
+                "engines": list(engine_list),
+                "max_n": max_n,
+            },
+        )
+        completed_before = run_dir.completed_keys()
+        sweep_cache = ResultCache(run_dir.results_dir)
+        reporter = ProgressReporter(
+            total=len(requests),
+            path=run_dir.progress_path,
+            stream=progress_stream,
+            label=f"fuzz-{seed}",
+        ).start()
+
+        def on_cell(request: ExecutionRequest, result: ExecutionResult) -> None:
+            profile = result.extra.get("profile") or {}
+            run_dir.record_cell(
+                name=request.name,
+                key=result.request_key,
+                cached=result.cached,
+                engine=request.engine,
+                algorithm=request.algorithm,
+                latency=result.latency,
+                num_rounds=result.num_rounds,
+                events=len(result.events),
+                duration_s=profile.get("duration_s"),
+            )
+            reporter.advance(cached=result.cached)
+
+    runner = SweepRunner(jobs=jobs, cache=sweep_cache, check=False, on_cell=on_cell)
+    try:
+        sweep = runner.run(ScenarioSpace.explicit(f"fuzz-{seed}", requests))
+    except BaseException:
+        if run_dir is not None:
+            run_dir.mark_interrupted()
+        if reporter is not None:
+            reporter.stop(status="interrupted")
+        raise
+
+    # Twins share the run's result store (so a resumed campaign skips
+    # them too) but not the progress counter — the planned total is the
+    # case budget, and twins are derived work.
+    twin_on_cell = None
+    if run_dir is not None:
+
+        def twin_on_cell(request: ExecutionRequest, result: ExecutionResult) -> None:
+            profile = result.extra.get("profile") or {}
+            run_dir.record_cell(
+                name=request.name,
+                key=result.request_key,
+                cached=result.cached,
+                engine=request.engine,
+                algorithm=request.algorithm,
+                latency=result.latency,
+                num_rounds=result.num_rounds,
+                events=len(result.events),
+                duration_s=profile.get("duration_s"),
+            )
+
+    twin_runner = SweepRunner(
+        jobs=jobs, cache=sweep_cache, check=False, on_cell=twin_on_cell
+    )
+    twin_by_case = _twin_results(twin_runner, requests, sweep.results)
 
     counterexamples: list[Counterexample] = []
     for request, result in zip(requests, sweep.results):
@@ -366,6 +462,13 @@ def run_campaign(
                 encoding="utf-8",
             )
             report.repro_files.append(str(path))
+    if run_dir is not None:
+        report.run_dir = str(run_dir.path)
+        summary = summarize_fuzz(
+            run_dir, report, sweep, completed_before=completed_before
+        )
+        run_dir.finalize(summary)
+        reporter.stop()
     return report
 
 

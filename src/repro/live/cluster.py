@@ -199,6 +199,9 @@ class LiveRun:
     transport_stats: TransportStats
     duration_s: float
     sessions_completed: int
+    #: ``session -> wall seconds`` from session launch to completion —
+    #: the per-session decision-latency sample SLO percentiles judge.
+    session_walls_s: dict[int, float] = field(default_factory=dict)
 
     @property
     def correct(self) -> list[int]:
@@ -225,7 +228,21 @@ class LiveRun:
     def total_decisions(self) -> int:
         return sum(len(entries) for entries in self.all_decisions.values())
 
+    def session_latencies_ms(self) -> list[float]:
+        """Per-session wall decision latencies, in milliseconds."""
+        return [
+            1000.0 * wall
+            for _, wall in sorted(self.session_walls_s.items())
+        ]
+
+    def detection_delays_ms(self) -> list[float]:
+        """True-detection delays (wall ms), from the detector summary."""
+        delays = self.detector_summary.get("detection_delay_samples_ms")
+        return list(delays) if delays else []
+
     def stats_dict(self) -> dict[str, Any]:
+        from repro.obs.report import percentile_summary
+
         duration = max(self.duration_s, 1e-9)
         return {
             "profile": self.config.profile.name,
@@ -240,6 +257,9 @@ class LiveRun:
             "crash_walls_s": {
                 pid: round(at, 6) for pid, at in sorted(self.crash_walls.items())
             },
+            "session_latency_ms": percentile_summary(
+                self.session_latencies_ms()
+            ),
             "detector_quality": self.detector_summary,
             "transport": self.transport_stats.to_dict(),
         }
@@ -359,8 +379,20 @@ class LiveRun:
 class LiveCluster:
     """Run one :class:`LiveConfig` on a fresh event loop."""
 
-    def __init__(self, config: LiveConfig) -> None:
+    def __init__(
+        self,
+        config: LiveConfig,
+        *,
+        on_session_done: Any = None,
+    ) -> None:
         self.config = config
+        #: Called as ``on_session_done(session, wall_s, complete)`` in
+        #: the event loop as each session finishes — the live progress
+        #: seam (heartbeats, per-session metrics lines).  Must be a
+        #: fast synchronous callable; never part of the config (configs
+        #: are serializable campaign identity, callbacks are not).
+        self.on_session_done = on_session_done
+        self.session_walls: dict[int, float] = {}
         self.transport = LiveTransport(
             config.n, config.profile, random.Random(config.seed)
         )
@@ -495,6 +527,7 @@ class LiveCluster:
             transport_stats=self.transport.stats,
             duration_s=duration,
             sessions_completed=completed,
+            session_walls_s=dict(self.session_walls),
         )
 
     async def _run_sessions(self) -> None:
@@ -504,6 +537,7 @@ class LiveCluster:
 
         async def one_session(session: int) -> None:
             async with gate:
+                started = self.transport.now()
                 tasks: list[asyncio.Task] = []
                 for pid in range(config.n):
                     if pid in self.transport.crashed:
@@ -518,6 +552,15 @@ class LiveCluster:
                         continue  # the runner was crashed, by design
                     if isinstance(outcome, BaseException):
                         raise outcome
+                wall = self.transport.now() - started
+                self.session_walls[session] = wall
+                if self.on_session_done is not None:
+                    complete = all(
+                        pid in self.all_decisions[session]
+                        for pid in range(config.n)
+                        if pid not in self.crash_walls
+                    )
+                    self.on_session_done(session, wall, complete)
 
         await asyncio.gather(
             *(one_session(session) for session in range(config.sessions))

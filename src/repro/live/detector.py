@@ -107,18 +107,29 @@ class DetectorStats:
         ]
 
     def summary(self) -> dict:
+        from repro.stats import percentile
+
         delays = self.detection_delays()
+        delays_ms = [1000 * delay for delay in delays]
         return {
             "suspicions": len(self.suspicions),
             "false_suspicions": self.false_suspicions,
             "refutations": self.refutations,
             "detections": len(delays),
             "detection_delay_ms": {
-                "mean": round(1000 * sum(delays) / len(delays), 3)
-                if delays
+                "mean": round(sum(delays_ms) / len(delays_ms), 3)
+                if delays_ms
                 else None,
-                "max": round(1000 * max(delays), 3) if delays else None,
+                "p50": round(percentile(delays_ms, 50), 3) if delays_ms else None,
+                "p90": round(percentile(delays_ms, 90), 3) if delays_ms else None,
+                "p99": round(percentile(delays_ms, 99), 3) if delays_ms else None,
+                "max": round(max(delays_ms), 3) if delays_ms else None,
             },
+            # Raw samples (ms) so campaign summaries can re-aggregate
+            # across runs without losing the distribution.
+            "detection_delay_samples_ms": [
+                round(delay, 3) for delay in delays_ms
+            ],
         }
 
 

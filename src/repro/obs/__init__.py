@@ -39,6 +39,15 @@ catalogue, and a worked example mapping a trace back to the paper's
 run notation.
 """
 
+from repro.obs.artifacts import (
+    RUN_SCHEMA,
+    RunDir,
+    SLOConfig,
+    compute_run_id,
+    evaluate_slos,
+    git_provenance,
+    identity_for_requests,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     CompositeObserver,
@@ -85,6 +94,19 @@ from repro.obs.profile import (
     profiled,
     set_profiler,
 )
+from repro.obs.progress import ProgressReporter, latest_progress
+from repro.obs.report import (
+    find_run_dir,
+    merge_span_snapshots,
+    percentile_summary,
+    render_report,
+    render_top,
+    report_json,
+    summarize_fuzz,
+    summarize_live,
+    summarize_sweep,
+    summary_problems,
+)
 from repro.obs.replay import (
     ReplayReport,
     infer_model,
@@ -94,6 +116,25 @@ from repro.obs.replay import (
 from repro.obs.schema import validate_event_dict, validate_jsonl_lines
 
 __all__ = [
+    "RUN_SCHEMA",
+    "RunDir",
+    "SLOConfig",
+    "compute_run_id",
+    "evaluate_slos",
+    "git_provenance",
+    "identity_for_requests",
+    "ProgressReporter",
+    "latest_progress",
+    "find_run_dir",
+    "merge_span_snapshots",
+    "percentile_summary",
+    "render_report",
+    "render_top",
+    "report_json",
+    "summarize_fuzz",
+    "summarize_live",
+    "summarize_sweep",
+    "summary_problems",
     "EVENT_KINDS",
     "Event",
     "Observer",

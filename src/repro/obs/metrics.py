@@ -163,7 +163,8 @@ class MetricsRegistry:
                 lines.append(
                     f"{name}: n={snap['count']} min={snap['min']:g} "
                     f"mean={snap['mean']:.4g} p50={snap['p50']:g} "
-                    f"p90={snap['p90']:g} max={snap['max']:g}"
+                    f"p90={snap['p90']:g} p99={snap['p99']:g} "
+                    f"max={snap['max']:g}"
                 )
         return "\n".join(lines)
 

@@ -27,7 +27,7 @@ the harness protocol and inherits sweeps, caching, merging and
 checking for free.
 """
 
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.harness import (
     HARNESSES,
     Harness,
@@ -66,6 +66,7 @@ from repro.runtime.sweep import (
 __all__ = [
     "ALGORITHM_FACTORIES",
     "CACHE_SCHEMA_VERSION",
+    "CacheStats",
     "CellCheck",
     "ENGINES",
     "ExecutionRequest",

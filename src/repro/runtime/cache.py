@@ -10,6 +10,14 @@ Corrupt or unreadable entries are treated as misses, never as errors: a
 cache must only ever make things faster.  A corrupt entry is also
 *evicted* on read — leaving it on disk would let ``__len__`` (and the
 cache directory's size) count entries that can never serve a hit.
+
+Every cache keeps a :class:`CacheStats` tally (hits, misses, stores,
+corrupt evictions).  Silent eviction was the right behavior for the
+cache itself, but it is exactly the kind of fact a campaign summary
+must surface: a nonzero ``corrupt_evictions`` on a healthy disk means
+a writer was killed mid-``put`` or something else is scribbling over
+the cache directory — so the counts flow into ``summary.json`` and the
+``repro sweep`` output.
 """
 
 from __future__ import annotations
@@ -17,9 +25,29 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from repro.runtime.request import ExecutionRequest, ExecutionResult
+
+
+@dataclass
+class CacheStats:
+    """Telemetry of one cache's lifetime (typically one campaign leg)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_evictions": self.corrupt_evictions,
+        }
 
 
 class ResultCache:
@@ -28,6 +56,7 @@ class ResultCache:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -38,7 +67,8 @@ class ResultCache:
         A present-but-unreadable entry (truncated write, foreign junk,
         stale schema) is deleted before reporting the miss: the slot is
         about to be re-written anyway, and keeping the corpse would make
-        ``len(cache)`` overcount.
+        ``len(cache)`` overcount.  The eviction is tallied in
+        :attr:`stats` so campaign summaries can report it.
         """
         path = self._path(request.cache_key())
         try:
@@ -46,13 +76,17 @@ class ResultCache:
                 data = json.load(handle)
             result = ExecutionResult.from_dict(data)
         except OSError:
+            self.stats.misses += 1
             return None
         except (ValueError, KeyError, TypeError):
+            self.stats.corrupt_evictions += 1
+            self.stats.misses += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
+        self.stats.hits += 1
         result.cached = True
         return result
 
@@ -73,6 +107,15 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.stats.stores += 1
+
+    def completed_keys(self) -> set[str]:
+        """The request keys with a (well-named) entry on disk."""
+        return {
+            entry.stem
+            for entry in self.directory.glob("*.json")
+            if not entry.name.startswith(".tmp-")
+        }
 
     def __len__(self) -> int:
         return sum(

@@ -35,6 +35,7 @@ def parallel_map(
     items: Sequence[T],
     *,
     jobs: int = 1,
+    on_result: Callable[[R], None] | None = None,
 ) -> list[R]:
     """``[func(item) for item in items]``, optionally across a pool.
 
@@ -42,12 +43,33 @@ def parallel_map(
     no pool, no pickling, identical semantics.  ``func`` must be a
     module-level callable (or a ``functools.partial`` of one) and
     ``items`` picklable when ``jobs > 1``.
+
+    ``on_result`` is invoked in the parent, in *input order*, as each
+    result becomes available — the seam campaign telemetry hangs off
+    (incremental cache writes, progress heartbeats).  With a pool this
+    streams via ``imap``, so an interrupted run has already delivered
+    every completed prefix result to the callback; parallelism still
+    must never be observable in outputs, only in wall-clock time.
     """
     if jobs <= 1 or len(items) < 2:
-        return [func(item) for item in items]
+        results: list[R] = []
+        for item in items:
+            result = func(item)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
     workers = min(jobs, len(items))
+    # Modest chunking keeps imap's overhead near pool.map for the tiny
+    # cells the sweeps run, while still streaming results back early.
+    chunksize = max(1, len(items) // (workers * 4))
     with _context().Pool(processes=workers) as pool:
-        return pool.map(func, items)
+        results = []
+        for result in pool.imap(func, items, chunksize=chunksize):
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
 
 
 def map_indexed(

@@ -26,12 +26,13 @@ cells documented to disagree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from time import perf_counter
+from typing import Any, Callable, Iterable
 
 from repro.obs.check import check_events
 from repro.obs.events import Event
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.profile import profiled
+from repro.obs.profile import Profiler, get_profiler, profiled, set_profiler
 from repro.runtime.cache import ResultCache
 from repro.runtime.harness import execute_request
 from repro.runtime.pool import parallel_map
@@ -40,8 +41,37 @@ from repro.runtime.space import ScenarioSpace
 
 
 def _execute_cell(request: ExecutionRequest) -> ExecutionResult:
-    """Worker entry point: one cell, standard instrumentation."""
-    return execute_request(request)
+    """Worker entry point: one cell, standard instrumentation.
+
+    Beyond :func:`execute_request`, the sweep path times the cell and
+    captures its engine spans under a worker-local profiler, attaching
+    both as ``extra["profile"]`` — wall-clock telemetry for campaign
+    summaries (slowest cells, per-engine span aggregates).  The figures
+    ride in ``extra`` precisely because the determinism contract covers
+    events and metrics, never extras: traces stay byte-identical across
+    schedulers while the telemetry varies with the hardware.  Samples
+    are also re-recorded into any profiler the caller had installed, so
+    ``jobs=1`` runs under ``repro metrics``-style profiling see exactly
+    the spans they always did.
+    """
+    outer = get_profiler()
+    local = Profiler()
+    set_profiler(local)
+    started = perf_counter()
+    try:
+        result = execute_request(request)
+    finally:
+        set_profiler(outer)
+    duration = perf_counter() - started
+    if outer is not None:
+        for name, samples in local.spans.items():
+            for sample in samples:
+                outer.record(name, sample)
+    result.extra["profile"] = {
+        "duration_s": duration,
+        "spans": local.snapshot(),
+    }
+    return result
 
 
 def check_model_for(request: ExecutionRequest) -> str | None:
@@ -143,6 +173,9 @@ class SweepResult:
     cached: int
     metrics: MetricsRegistry
     checks: list[CellCheck] | None = None
+    #: The backing cache's lifetime telemetry (hits/misses/stores/
+    #: corrupt evictions), ``None`` when the sweep ran uncached.
+    cache_stats: dict[str, int] | None = None
 
     @property
     def total(self) -> int:
@@ -218,6 +251,13 @@ class SweepResult:
             f"space '{self.space_name}': {self.total} scenarios; "
             f"executed {self.executed}, cached {self.cached}"
         ]
+        if self.cache_stats is not None and self.cache_stats.get(
+            "corrupt_evictions"
+        ):
+            lines.append(
+                f"cache: evicted {self.cache_stats['corrupt_evictions']} "
+                "corrupt entr(y/ies) — served as misses and re-executed"
+            )
         if self.checks is not None:
             failed = [check for check in self.checks if not check.ok]
             lines.append(
@@ -235,6 +275,11 @@ class SweepRunner:
         cache: A :class:`ResultCache`, a cache directory path, or
             ``None`` to disable caching.
         check: Run the trace oracle over every cell's trace.
+        on_cell: Called in the parent, in completion order, once per
+            cell — ``on_cell(request, result)`` with ``result.cached``
+            telling hits from fresh executions.  The campaign-telemetry
+            seam: metrics.jsonl lines and progress heartbeats hang off
+            it without the runner knowing about run directories.
     """
 
     def __init__(
@@ -243,6 +288,7 @@ class SweepRunner:
         jobs: int = 1,
         cache: ResultCache | str | None = None,
         check: bool = False,
+        on_cell: Callable[[ExecutionRequest, ExecutionResult], None] | None = None,
     ) -> None:
         self.jobs = jobs
         self.cache = (
@@ -251,6 +297,7 @@ class SweepRunner:
             else cache
         )
         self.check = check
+        self.on_cell = on_cell
 
     def run(self, space: ScenarioSpace) -> SweepResult:
         requests = list(space.requests)
@@ -265,22 +312,34 @@ class SweepRunner:
                     hit = self.cache.get(request)
                     if hit is not None:
                         results[index] = hit
+                        if self.on_cell is not None:
+                            self.on_cell(request, hit)
                     else:
                         misses.append(index)
             else:
                 misses = list(range(len(requests)))
 
-            # Execute phase: fan the misses out, in space order.
-            with profiled("runtime.sweep.execute"):
-                fresh = parallel_map(
-                    _execute_cell,
-                    [requests[index] for index in misses],
-                    jobs=self.jobs,
-                )
-            for index, result in zip(misses, fresh):
+            # Execute phase: fan the misses out, in space order.  Each
+            # result is cached (and reported) the moment it arrives, so
+            # a campaign killed mid-sweep keeps every completed prefix
+            # cell — that is what makes run directories resumable.
+            miss_iter = iter(misses)
+
+            def _arrived(result: ExecutionResult) -> None:
+                index = next(miss_iter)
                 results[index] = result
                 if self.cache is not None:
                     self.cache.put(requests[index], result)
+                if self.on_cell is not None:
+                    self.on_cell(requests[index], result)
+
+            with profiled("runtime.sweep.execute"):
+                parallel_map(
+                    _execute_cell,
+                    [requests[index] for index in misses],
+                    jobs=self.jobs,
+                    on_result=_arrived,
+                )
 
         final: list[ExecutionResult] = [r for r in results if r is not None]
         assert len(final) == len(requests)
@@ -311,6 +370,9 @@ class SweepRunner:
             cached=len(final) - len(misses),
             metrics=registry,
             checks=checks,
+            cache_stats=(
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
         )
 
 
