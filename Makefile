@@ -1,4 +1,4 @@
-.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke causal-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -80,7 +80,7 @@ LIVE_SMOKE_METRICS ?= /tmp/repro_live_smoke_metrics.jsonl
 # with a mid-run crash, one adversarial run (drops + a partition
 # window) under load, both trace-checked; then the checked live-smoke
 # space through the unified runtime.  The CLI runs' span metrics roll
-# into BENCH_PR5.json's live_timings section.
+# into BENCH_PR7.json's live_timings section.
 live-smoke:
 	rm -f $(LIVE_SMOKE_METRICS)
 	PYTHONPATH=src timeout 60 python -m repro live --algorithm floodset \
@@ -91,7 +91,33 @@ live-smoke:
 		--seed 3 --check --metrics $(LIVE_SMOKE_METRICS)
 	PYTHONPATH=src timeout 120 python -m repro sweep live-smoke --check
 	PYTHONPATH=src python scripts/bench_report.py $(LIVE_SMOKE_METRICS) \
-		-o BENCH_PR5.json
+		-o BENCH_PR7.json
+
+CAUSAL_SMOKE_TRACE ?= /tmp/repro_causal_smoke.jsonl
+CAUSAL_SMOKE_LEGACY ?= /tmp/repro_causal_smoke_legacy.jsonl
+
+# The causal pipeline end to end: a live adversarial run with a mid-run
+# crash exports a causally-tagged trace; `repro causal` must extract
+# critical paths and forensics from it (human, --diagram and --json
+# renderings), the --json rendering must attribute at least one decision
+# across latency legs, and check_trace's --causal layer must validate
+# every msg_id/wall_s stamp plus the Λ bound.  A pre-PR7-style
+# deterministic trace (no `extra` fields) must still pass --schema-only
+# untouched — causal tracing is a side band, not a format break.
+causal-smoke:
+	PYTHONPATH=src timeout 60 python -m repro live --algorithm floodset \
+		--net-profile adversarial --crash 2@50 --seed 7 --check \
+		--jsonl $(CAUSAL_SMOKE_TRACE)
+	PYTHONPATH=src python -m repro causal $(CAUSAL_SMOKE_TRACE) --diagram
+	PYTHONPATH=src python -m repro causal $(CAUSAL_SMOKE_TRACE) --json | \
+		PYTHONPATH=src python -c "import json,sys; s=json.load(sys.stdin); \
+		assert s['decisions'] and all(d['legs'] for d in s['decisions']), \
+		'no leg attribution'"
+	PYTHONPATH=src python scripts/check_trace.py --causal $(CAUSAL_SMOKE_TRACE)
+	PYTHONPATH=src python -m repro trace floodset-rws-violation \
+		--jsonl $(CAUSAL_SMOKE_LEGACY)
+	PYTHONPATH=src python scripts/check_trace.py --schema-only \
+		$(CAUSAL_SMOKE_LEGACY)
 
 REPORT_SMOKE_RUNS ?= /tmp/repro_report_smoke_runs
 

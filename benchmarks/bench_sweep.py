@@ -10,9 +10,17 @@ artifact pipeline (manifest, per-cell metrics lines, progress
 heartbeats, summary + SLO verdicts) rides the same sweep, so its cost
 relative to ``bench_sweep_serial_cold`` is the price of a run
 directory.
+
+``bench_sweep_causal_analysis`` bounds the causal layer's overhead:
+happens-before reconstruction plus critical-path extraction over every
+cell of the already-executed sweep, so the ``obs.causal.annotate`` /
+``obs.causal.critical`` spans land in ``metrics.jsonl`` next to the
+execution spans they would tax.
 """
 
 from repro.obs.artifacts import RunDir, identity_for_requests
+from repro.obs.causal import annotate
+from repro.obs.critical import critical_paths, verify_round_paths
 from repro.obs.progress import ProgressReporter
 from repro.obs.report import summarize_sweep, summary_problems
 from repro.runtime import ResultCache, SweepRunner, oracle_sweep_space
@@ -44,6 +52,25 @@ def bench_sweep_checked(once):
     space = oracle_sweep_space(count=5)
     result = once(SweepRunner(jobs=1, check=True).run, space)
     assert result.checks_ok, result.describe()
+
+
+def bench_sweep_causal_analysis(once):
+    space = oracle_sweep_space(count=5)
+    sweep = SweepRunner(jobs=1).run(space)
+    traced = [result for result in sweep.results if result.events]
+
+    def analyze_all():
+        anomalies = 0
+        decisions = 0
+        for result in traced:
+            graph = annotate(result.events)
+            decisions += len(critical_paths(result.events, graph=graph))
+            anomalies += len(verify_round_paths(result.events, graph=graph))
+        return decisions, anomalies
+
+    decisions, anomalies = once(analyze_all)
+    assert decisions > 0
+    assert anomalies == 0
 
 
 def bench_sweep_with_run_dir(once, tmp_path):

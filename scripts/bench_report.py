@@ -3,7 +3,7 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR5.json] [METRICS.jsonl]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR7.json] [METRICS.jsonl]
 
 Reads the per-span profiler breakdown the benchmark suite emits (one
 JSON object per span: count/total/mean/max/p95, newer runs also carry
@@ -17,7 +17,10 @@ committed ``BENCH_*.json`` snapshot in the repo root is merged, and
 each span seen by at least two snapshots gets its ``mean_s`` series in
 snapshot order — the per-span performance history across the PR
 sequence, so regressions show up as a step in the series rather than
-by diffing snapshot files.  ``--no-trajectory`` skips it.
+by diffing snapshot files.  ``--no-trajectory`` skips it.  The scan
+always covers the *repo root*, wherever ``-o`` points: the committed
+snapshots live there, and scanning the output's own directory used to
+render the trajectory empty for any out-of-tree output path.
 
 Exits 0 on success, 2 on usage or parse errors.
 """
@@ -29,8 +32,9 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_METRICS = Path(__file__).resolve().parent.parent / "benchmarks" / "metrics.jsonl"
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_METRICS = REPO_ROOT / "benchmarks" / "metrics.jsonl"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
 
 #: Per-span fields copied into the report (missing ones become null).
 FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
@@ -140,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
         "-o",
         "--output",
         default=str(DEFAULT_OUTPUT),
-        help="where to write the summary (default: BENCH_PR5.json)",
+        help="where to write the summary (default: BENCH_PR7.json)",
     )
     parser.add_argument(
         "--no-trajectory",
@@ -160,7 +164,7 @@ def main(argv: list[str] | None = None) -> int:
     report = build_report(spans, metrics_path.name)
     output = Path(args.output)
     if not args.no_trajectory:
-        snapshots = load_snapshots(output.resolve().parent, skip=output)
+        snapshots = load_snapshots(REPO_ROOT, skip=output)
         snapshots[output.stem] = report["spans"]
         trajectory = build_trajectory(snapshots)
         if trajectory is not None:

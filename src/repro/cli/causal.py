@@ -1,0 +1,204 @@
+"""``repro causal``: happens-before analysis of a trace or run dir.
+
+Given a JSONL trace (``repro trace --jsonl``, ``repro live --jsonl``,
+``make causal-smoke`` artifacts) the command reconstructs the causal
+graph and prints, per decision, the critical path — the longest chain
+of message hops behind the decide, the hop count the Λ latency
+measures count — plus, for live traces, the wall-latency split into
+``send`` / ``retransmit`` / ``detector-wait`` / ``local`` legs and a
+forensic audit of every suspicion (which heartbeats were missed,
+whether the ground-truth crash justifies it).
+
+Given a run directory (``repro sweep --run-dir``), the same analysis
+runs over every cached cell result and prints one summary line per
+cell, flagging Λ-bound anomalies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli.common import load_trace
+from repro.obs.causal import annotate
+from repro.obs.critical import causal_summary, critical_paths
+from repro.trace.diagram import event_diagram
+
+
+def _print_trace_report(events, args: argparse.Namespace) -> int:
+    graph = annotate(events)
+    summary = causal_summary(events, graph=graph)
+    paths = critical_paths(events, graph=graph)
+    if args.decide is not None:
+        paths = [path for path in paths if path.pid == args.decide]
+        if not paths:
+            print(
+                f"error: no decide event for p{args.decide} in the trace",
+                file=sys.stderr,
+            )
+            return 2
+        summary["decisions"] = [path.to_dict() for path in paths]
+    if args.suspect is not None:
+        summary["suspicions"] = [
+            report
+            for report in summary["suspicions"]
+            if report["suspected"] == args.suspect
+        ]
+        if not summary["suspicions"]:
+            print(
+                f"error: nobody suspects p{args.suspect} in the trace",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=repr))
+        return 1 if summary["anomalies"] else 0
+
+    print(
+        f"{summary['events']} events ({summary['clock']} clock), "
+        f"{summary['message_edges']} message edges, "
+        f"max critical path {summary['max_path_length']} hops"
+    )
+    for path in paths:
+        line = (
+            f"  decide p{path.pid}={path.value!r}"
+            + (f" @ round {path.round}" if path.round is not None else "")
+            + f": {path.length} message hops"
+        )
+        if path.wall_latency_s is not None:
+            line += f", {1000 * path.wall_latency_s:.1f} ms wall"
+        print(line)
+        for leg in path.legs:
+            where = f" round {leg.round}" if leg.round is not None else ""
+            via = f" via {leg.via}" if leg.via is not None else ""
+            print(
+                f"    {leg.kind:<14} {1000 * leg.seconds:8.2f} ms{where}{via}"
+            )
+    for report in summary["suspicions"]:
+        verdict = {True: "justified", False: "UNJUSTIFIED", None: "unknown"}[
+            report.get("justified")
+        ]
+        line = f"  suspect p{report['observer']}->p{report['suspected']}: {verdict}"
+        if report.get("misses") is not None:
+            line += (
+                f", {report['misses']}/{report['threshold']} silent passes"
+            )
+        if report.get("silence_s") is not None:
+            line += f", {1000 * report['silence_s']:.1f} ms silence"
+        print(line)
+    for problem in summary["anomalies"]:
+        print(f"  ANOMALY: {problem}")
+
+    if args.diagram:
+        marked = paths[0] if paths else None
+        if marked is not None:
+            print(
+                f"\ncritical path of p{marked.pid}'s decision "
+                f"(rows marked *):"
+            )
+        print(event_diagram(events, highlight=marked.nodes if marked else ()))
+    return 1 if summary["anomalies"] else 0
+
+
+def _print_rundir_report(path: Path, args: argparse.Namespace) -> int:
+    from repro.obs.artifacts import RunDir
+    from repro.obs.report import find_run_dir
+    from repro.runtime.request import ExecutionResult
+
+    try:
+        run_dir = RunDir.load(find_run_dir(path))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cells: list[dict] = []
+    anomalies = 0
+    for entry in sorted(run_dir.results_dir.glob("*.json")):
+        if entry.name.startswith(".tmp-"):
+            continue
+        try:
+            result = ExecutionResult.from_dict(
+                json.loads(entry.read_text(encoding="utf-8"))
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {entry.name}: {exc}", file=sys.stderr)
+            return 2
+        if not result.events:
+            continue
+        summary = causal_summary(result.events)
+        summary["cell"] = result.name
+        anomalies += len(summary["anomalies"])
+        cells.append(summary)
+    if args.json:
+        print(json.dumps(cells, indent=2, sort_keys=True, default=repr))
+        return 1 if anomalies else 0
+    print(f"{run_dir.run_id}: {len(cells)} cells with events")
+    for summary in cells:
+        lengths = sorted(
+            {entry["length"] for entry in summary["decisions"]}
+        )
+        line = (
+            f"  {summary['cell']:<24} decisions={len(summary['decisions'])} "
+            f"path-hops={lengths or '-'}"
+        )
+        if summary["suspicions"]:
+            line += f" suspicions={len(summary['suspicions'])}"
+        if summary["anomalies"]:
+            line += f" ANOMALIES={len(summary['anomalies'])}"
+        print(line)
+        for problem in summary["anomalies"]:
+            print(f"    {problem}")
+    return 1 if anomalies else 0
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    target = Path(args.target)
+    if target.is_dir():
+        return _print_rundir_report(target, args)
+    events = load_trace(args.target)
+    if events is None:
+        return 2
+    return _print_trace_report(events, args)
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach this module's subcommands to the root parser."""
+    p_causal = sub.add_parser(
+        "causal",
+        help=(
+            "happens-before analysis: critical paths, latency legs, "
+            "suspicion forensics"
+        ),
+    )
+    p_causal.add_argument(
+        "target",
+        help="a JSONL trace file, or a run directory with results/",
+    )
+    p_causal.add_argument(
+        "--decide",
+        type=int,
+        metavar="PID",
+        help="only the critical path of PID's decision",
+    )
+    p_causal.add_argument(
+        "--suspect",
+        type=int,
+        metavar="PID",
+        help="only suspicions *of* PID (forensic audit)",
+    )
+    p_causal.add_argument(
+        "--diagram",
+        action="store_true",
+        help=(
+            "render the trace as a space-time diagram with the first "
+            "selected decision's critical path marked"
+        ),
+    )
+    p_causal.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis as JSON",
+    )
+    p_causal.set_defaults(func=_cmd_causal)

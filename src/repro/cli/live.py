@@ -208,7 +208,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
 
     exit_code = 0
     oracle_failed = None
-    if args.check or args.jsonl:
+    log = None
+    if args.check or args.jsonl or run_dir is not None:
         log = EventLog(clock=logical_clock())
         run.replay_into(log)
         if args.jsonl:
@@ -233,6 +234,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             detection_delays_ms=run.detection_delays_ms(),
             oracle_failed=oracle_failed,
             extra_spans=profiler.snapshot() if profiler is not None else None,
+            events=log.events if log is not None else None,
         )
         run_dir.finalize(summary)
         reporter.stop()

@@ -18,6 +18,8 @@ module under :mod:`repro.cli` and registers itself via ``register``:
 * :mod:`repro.cli.report` — ``report`` (run-directory dashboard, or
   the legacy EXPERIMENTS.md regeneration when no run is named) and
   ``top`` (tail a running campaign's heartbeats).
+* :mod:`repro.cli.causal` — ``causal`` (happens-before graphs,
+  critical-path latency attribution, suspicion forensics).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.cli import causal as _causal
 from repro.cli import check as _check
 from repro.cli import experiments as _experiments
 from repro.cli import fuzz as _fuzz
@@ -63,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         _fuzz,
         _live,
         _report,
+        _causal,
     ):
         module.register(sub)
     return parser

@@ -261,7 +261,11 @@ def emulate_rs_on_ss(
     the round model's "crashed in the middle of a broadcast").
 
     ``observer`` receives the underlying step kernel's events plus a
-    lifted ``decide`` event per deciding process.
+    lifted ``decide`` event per deciding process.  The kernel threads a
+    stable ``msg_id`` (the step message uid) through every message
+    hook, so a :class:`~repro.obs.causal.CausalObserver` recovers the
+    exact send→delivery pairing of the emulated run even under
+    non-FIFO schedulers.
     """
     n = len(values)
     rounds = num_rounds if num_rounds is not None else t + 2

@@ -257,8 +257,20 @@ def emulate_rws_on_sp(
         # checker applies to SP runs too (the exact Lemma 4.1 round
         # bound is checked on the step run by
         # check_emulated_weak_round_synchrony, which sees crash times).
+        uid_by_triple: dict[tuple[int, int, int], int] = {}
+        for message in run.messages.values():
+            message_round, _ = message.payload
+            uid_by_triple.setdefault(
+                (message.sender, message.recipient, message_round),
+                message.uid,
+            )
         for sender, recipient, round_index in sorted(_pending_triples(trace)):
-            observer.msg_withheld(sender, recipient, round_index)
+            observer.msg_withheld(
+                sender,
+                recipient,
+                round_index,
+                msg_id=uid_by_triple.get((sender, recipient, round_index)),
+            )
         # Halt is graceful termination: a pattern-faulty process never
         # halts in the lifted round-level view, even when its crash time
         # falls after it completed the round horizon (the kernel's crash

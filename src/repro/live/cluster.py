@@ -148,6 +148,11 @@ class RawEvent:
     For message events ``pid`` is the *sender* and ``peer`` the
     recipient; for ``suspect`` events ``pid`` is the observing module
     and ``peer`` the suspected process.
+
+    ``extra`` is the causal side channel the serializer forwards into
+    the observer hooks: the record wall stamp plus, per event kind, the
+    transport's message forensics (``msg_id``, attempts, retransmits)
+    or the detector's suspicion forensics.
     """
 
     seq: int
@@ -157,6 +162,7 @@ class RawEvent:
     peer: int | None = None
     round: int | None = None
     value: Any = None
+    extra: Any = None
 
 
 #: Within-group emission order of the rounds-mode serializer.
@@ -175,9 +181,9 @@ class _Proc:
     """Mutable per-process runtime state shared by router and runners."""
 
     wake: asyncio.Event = field(default_factory=asyncio.Event)
-    #: ``(session, round) -> sender -> (has_payload, payload)``
-    rounds: dict[tuple[int, int], dict[int, tuple[bool, Any]]] = field(
-        default_factory=dict
+    #: ``(session, round) -> sender -> (has_payload, payload, msg_id)``
+    rounds: dict[tuple[int, int], dict[int, tuple[bool, Any, int | None]]] = (
+        field(default_factory=dict)
     )
     #: ``session -> deque[Message]``
     steps: dict[int, deque] = field(default_factory=dict)
@@ -281,9 +287,11 @@ class LiveRun:
 
         sent: set[tuple[int, int, int]] = set()
         consumed: set[tuple[int, int, int]] = set()
+        send_extra: dict[tuple[int, int, int], Any] = {}
         for raw in self.raw_events:
             if raw.kind == "msg_sent":
                 sent.add((raw.round, raw.pid, raw.peer))
+                send_extra[(raw.round, raw.pid, raw.peer)] = raw.extra
             elif raw.kind == "msg_delivered":
                 consumed.add((raw.round, raw.pid, raw.peer))
 
@@ -304,6 +312,12 @@ class LiveRun:
         synth = len(self.raw_events)
         for round_index, sender, recipient in sorted(sent - consumed):
             synth += 1
+            origin = send_extra.get((round_index, sender, recipient))
+            extra = None
+            if isinstance(origin, dict) and "msg_id" in origin:
+                # The withheld notice inherits the send's identity so
+                # the happens-before graph links it to its message.
+                extra = {"msg_id": origin["msg_id"]}
             raw = RawEvent(
                 seq=synth,
                 kind="msg_withheld",
@@ -311,6 +325,7 @@ class LiveRun:
                 pid=sender,
                 peer=recipient,
                 round=round_index,
+                extra=extra,
             )
             groups[round_index].append((_ROUND_PRIORITY[raw.kind], synth, raw))
 
@@ -342,17 +357,32 @@ class LiveRun:
     @staticmethod
     def _emit_round_event(observer: Any, raw: RawEvent) -> None:
         if raw.kind == "msg_sent":
-            observer.msg_sent(raw.pid, raw.peer, round_index=raw.round)
+            observer.msg_sent(
+                raw.pid, raw.peer, round_index=raw.round, extra=raw.extra
+            )
         elif raw.kind == "msg_withheld":
-            observer.msg_withheld(raw.pid, raw.peer, raw.round)
+            observer.msg_withheld(
+                raw.pid, raw.peer, raw.round, extra=raw.extra
+            )
         elif raw.kind == "msg_delivered":
-            observer.msg_delivered(raw.pid, raw.peer, round_index=raw.round)
+            observer.msg_delivered(
+                raw.pid, raw.peer, round_index=raw.round, extra=raw.extra
+            )
         elif raw.kind == "decide":
-            observer.decide(raw.pid, raw.value, round_index=raw.round)
+            observer.decide(
+                raw.pid, raw.value, round_index=raw.round, extra=raw.extra
+            )
         elif raw.kind == "crash":
-            observer.crash(raw.pid, round_index=raw.round, applies_transition=False)
+            observer.crash(
+                raw.pid,
+                round_index=raw.round,
+                applies_transition=False,
+                extra=raw.extra,
+            )
         elif raw.kind == "suspect":
-            observer.suspect(raw.pid, raw.peer, delay=raw.value)
+            observer.suspect(
+                raw.pid, raw.peer, delay=raw.value, extra=raw.extra
+            )
 
     def _replay_steps(self, observer: Any) -> None:
         tick = 0.0
@@ -363,15 +393,23 @@ class LiveRun:
                 continue
             tick += 1.0
             if raw.kind == "msg_sent":
-                observer.msg_sent(raw.pid, raw.peer, time=tick)
+                observer.msg_sent(raw.pid, raw.peer, time=tick, extra=raw.extra)
             elif raw.kind == "msg_delivered":
-                observer.msg_delivered(raw.pid, raw.peer, time=tick)
+                observer.msg_delivered(
+                    raw.pid, raw.peer, time=tick, extra=raw.extra
+                )
             elif raw.kind == "crash":
-                observer.crash(raw.pid, time=tick, applies_transition=False)
+                observer.crash(
+                    raw.pid, time=tick, applies_transition=False, extra=raw.extra
+                )
             elif raw.kind == "suspect":
-                observer.suspect(raw.pid, raw.peer, time=tick, delay=raw.value)
+                observer.suspect(
+                    raw.pid, raw.peer, time=tick, delay=raw.value, extra=raw.extra
+                )
             elif raw.kind == "decide":
-                observer.decide(raw.pid, raw.value, round_index=raw.round)
+                observer.decide(
+                    raw.pid, raw.value, round_index=raw.round, extra=raw.extra
+                )
         for raw in sorted(halts, key=lambda r: r.seq):
             observer.halt(raw.pid)
 
@@ -438,20 +476,32 @@ class LiveCluster:
         peer: int | None = None,
         round_index: int | None = None,
         value: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
-        """Collect one raw event (no-op when recording is off)."""
+        """Collect one raw event (no-op when recording is off).
+
+        Every recorded event carries its wall stamp in
+        ``extra["wall_s"]`` (the serialized trace's logical clock
+        cannot) so critical-path attribution can reconstruct where the
+        run's real time went; callers merge in per-kind forensics.
+        """
         if not self.config.record_events:
             return
         self._seq += 1
+        at_s = self.transport.now()
+        merged: dict[str, Any] = {"wall_s": round(at_s, 6)}
+        if extra:
+            merged.update(extra)
         self._raws.append(
             RawEvent(
                 seq=self._seq,
                 kind=kind,
-                at_s=self.transport.now(),
+                at_s=at_s,
                 pid=pid,
                 peer=peer,
                 round=round_index,
                 value=value,
+                extra=merged,
             )
         )
 
@@ -588,14 +638,24 @@ class LiveCluster:
             if kind == HEARTBEAT:
                 self.detector.heard(pid, payload[1])
             elif kind == ROUND_MSG:
-                _, session, round_index, sender, has_payload, body = payload
+                (
+                    _,
+                    session,
+                    round_index,
+                    sender,
+                    has_payload,
+                    body,
+                    msg_id,
+                ) = payload
                 buffer = proc_ref.rounds.setdefault((session, round_index), {})
                 if sender not in buffer:
-                    buffer[sender] = (has_payload, body)
+                    buffer[sender] = (has_payload, body, msg_id)
                 proc_ref.wake.set()
             elif kind == STEP_MSG:
-                _, session, message = payload
-                proc_ref.steps.setdefault(session, deque()).append(message)
+                _, session, message, msg_id = payload
+                proc_ref.steps.setdefault(session, deque()).append(
+                    (message, msg_id)
+                )
                 proc_ref.wake.set()
 
     async def _fault(self, pid: int, at_s: float) -> None:
@@ -633,6 +693,7 @@ class LiveCluster:
             peer=peer,
             round_index=self.procs[observer].current_round.get(0),
             value=delay_ms,
+            extra=self.detector.forensics(observer, peer),
         )
         self.procs[observer].wake.set()
 

@@ -177,6 +177,11 @@ class HeartbeatService:
             for pid in range(n)
         }
         self._suspected: dict[int, set[int]] = {pid: set() for pid in range(n)}
+        # Forensics: when each module last heard each peer (wall
+        # seconds; 0.0 = never, i.e. silent since startup).
+        self._last_heard: dict[int, dict[int, float]] = {
+            pid: {q: 0.0 for q in peers[pid]} for pid in range(n)
+        }
 
     # -- queries ------------------------------------------------------------
 
@@ -184,11 +189,26 @@ class HeartbeatService:
         """The current output of ``pid``'s detector module."""
         return frozenset(self._suspected[pid])
 
+    def forensics(self, pid: int, peer: int) -> dict[str, int | float]:
+        """Why ``pid``'s module currently holds its view of ``peer``.
+
+        The causal cut behind a suspicion: how many silent monitor
+        passes accumulated, the threshold they crossed, and the wall
+        time of the last heartbeat that made it through — the window
+        ``(last_heard_s, now]`` is exactly the missed-heartbeat span.
+        """
+        return {
+            "misses": self._misses[pid][peer],
+            "threshold": self._thresholds[pid][peer],
+            "last_heard_s": round(self._last_heard[pid][peer], 6),
+        }
+
     # -- transport-facing hooks ---------------------------------------------
 
     def heard(self, pid: int, sender: int) -> None:
         """``pid`` received a heartbeat from ``sender``."""
         self._misses[pid][sender] = 0
+        self._last_heard[pid][sender] = self.transport.now()
         if sender in self._suspected[pid]:
             if self.config.kind == "ep":
                 # A refuted suspicion: trust again, back off the timer —

@@ -68,26 +68,48 @@ async def run_rounds_session(
 
         # Send phase: self-delivery is reliable and instantaneous; every
         # peer gets a marker so rounds advance even across silence.
+        # Recorded sessions tag each marker with a transport msg_id so
+        # the causal layer can pair the send with its delivery (and the
+        # delivery event with the transport's retransmit forensics).
         if pid in outgoing:
-            buffer[pid] = (True, outgoing[pid])
+            self_mid = transport.register_message(pid, pid) if record else None
+            if self_mid is not None:
+                meta = transport.meta[self_mid]
+                meta.attempts = 1
+                meta.wire_s = meta.delivered_s = transport.now()
+            buffer[pid] = (True, outgoing[pid], self_mid)
             if record:
                 cluster.record(
-                    "msg_sent", pid=pid, peer=pid, round_index=round_index
+                    "msg_sent",
+                    pid=pid,
+                    peer=pid,
+                    round_index=round_index,
+                    extra={"msg_id": self_mid},
                 )
                 cluster.record(
-                    "msg_delivered", pid=pid, peer=pid, round_index=round_index
+                    "msg_delivered",
+                    pid=pid,
+                    peer=pid,
+                    round_index=round_index,
+                    extra=transport.delivery_extra(self_mid),
                 )
         for q in peers:
             has_payload = q in outgoing
+            mid = transport.register_message(pid, q) if record else None
             if has_payload and record:
                 cluster.record(
-                    "msg_sent", pid=pid, peer=q, round_index=round_index
+                    "msg_sent",
+                    pid=pid,
+                    peer=q,
+                    round_index=round_index,
+                    extra={"msg_id": mid},
                 )
             transport.post_reliable(
                 pid,
                 q,
                 (ROUND_MSG, session, round_index, pid, has_payload,
-                 outgoing.get(q)),
+                 outgoing.get(q), mid),
+                msg_id=mid,
             )
 
         # Wait phase: marker or suspicion, for every peer.  The wake
@@ -103,7 +125,7 @@ async def run_rounds_session(
         # Receive phase: consume payload-bearing markers that made it.
         received = {}
         for sender in sorted(buffer):
-            has_payload, payload = buffer[sender]
+            has_payload, payload, mid = buffer[sender]
             if not has_payload:
                 continue
             received[sender] = payload
@@ -113,6 +135,7 @@ async def run_rounds_session(
                     pid=sender,
                     peer=pid,
                     round_index=round_index,
+                    extra=transport.delivery_extra(mid),
                 )
 
         if not halted:

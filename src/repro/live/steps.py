@@ -52,11 +52,14 @@ async def run_steps_session(
         proc.wake.clear()
         received = []
         while inbox:
-            message = inbox.popleft()
+            message, mid = inbox.popleft()
             received.append(message)
             if record:
                 cluster.record(
-                    "msg_delivered", pid=message.sender, peer=pid
+                    "msg_delivered",
+                    pid=message.sender,
+                    peer=pid,
+                    extra=transport.delivery_extra(mid),
                 )
 
         local_step += 1
@@ -80,13 +83,28 @@ async def run_steps_session(
                 payload=outcome.payload,
                 sent_step=local_step,
             )
+            mid = (
+                transport.register_message(pid, outcome.send_to)
+                if record
+                else None
+            )
             if record:
-                cluster.record("msg_sent", pid=pid, peer=outcome.send_to)
+                cluster.record(
+                    "msg_sent",
+                    pid=pid,
+                    peer=outcome.send_to,
+                    extra={"msg_id": mid},
+                )
             if outcome.send_to == pid:
-                transport.deliver_local(pid, (STEP_MSG, session, message))
+                transport.deliver_local(
+                    pid, (STEP_MSG, session, message, mid), msg_id=mid
+                )
             else:
                 transport.post_reliable(
-                    pid, outcome.send_to, (STEP_MSG, session, message)
+                    pid,
+                    outcome.send_to,
+                    (STEP_MSG, session, message, mid),
+                    msg_id=mid,
                 )
 
         if not decided and getattr(state, "decided", False):

@@ -49,6 +49,38 @@ class TransportStats:
 
 
 @dataclass
+class MessageMeta:
+    """Per-message delivery forensics for one reliable send.
+
+    Tagged onto every reliable datagram by :meth:`LiveTransport.
+    register_message`; the cluster copies it into the trace's
+    ``extra`` fields so causal analysis can attribute wall latency to
+    first-attempt flight time vs retransmissions.
+    """
+
+    msg_id: int
+    sender: int
+    recipient: int
+    posted_s: float = 0.0
+    attempts: int = 0
+    retransmits: int = 0
+    wire_s: float | None = None  # when an attempt survived sever/drop
+    delivered_s: float | None = None  # inbox arrival
+
+    def to_extra(self) -> dict[str, Any]:
+        extra: dict[str, Any] = {
+            "msg_id": self.msg_id,
+            "attempts": self.attempts,
+            "retransmits": self.retransmits,
+        }
+        if self.wire_s is not None:
+            extra["wire_s"] = round(self.wire_s, 6)
+        if self.delivered_s is not None:
+            extra["delivered_s"] = round(self.delivered_s, 6)
+        return extra
+
+
+@dataclass
 class _Inbox:
     queue: asyncio.Queue = field(default_factory=asyncio.Queue)
 
@@ -79,6 +111,8 @@ class LiveTransport:
             rto_s if rto_s is not None else max(4 * profile.max_delay_s, 0.01)
         )
         self.stats = TransportStats()
+        self.meta: dict[int, MessageMeta] = {}
+        self._next_msg_id = 0
         self.crashed: set[int] = set()
         self.inboxes = [_Inbox() for _ in range(n)]
         self._tasks: set[asyncio.Task] = set()
@@ -119,13 +153,46 @@ class LiveTransport:
         self.stats.heartbeats_sent += 1
         return self._attempt(sender, recipient, payload)
 
-    def post_reliable(self, sender: int, recipient: int, payload: Any) -> None:
+    def post_reliable(
+        self, sender: int, recipient: int, payload: Any, *, msg_id: int | None = None
+    ) -> None:
         """Queue a reliable send; retransmission runs as its own task."""
-        self._spawn(self._send_reliable(sender, recipient, payload))
+        self._spawn(self._send_reliable(sender, recipient, payload, msg_id))
 
-    def deliver_local(self, pid: int, payload: Any) -> None:
+    def deliver_local(
+        self, pid: int, payload: Any, *, msg_id: int | None = None
+    ) -> None:
         """Immediate, reliable self-delivery (no network hop)."""
+        meta = self.meta.get(msg_id) if msg_id is not None else None
+        if meta is not None:
+            meta.attempts += 1
+            meta.wire_s = meta.delivered_s = self.now()
         self.inboxes[pid].queue.put_nowait(payload)
+
+    # -- causal tagging -----------------------------------------------------
+
+    def register_message(self, sender: int, recipient: int) -> int:
+        """Allocate a stable ``msg_id`` and its delivery-forensics slot.
+
+        The id travels inside the wire payload (so the recipient can
+        link its delivery back to the send) and indexes :attr:`meta`,
+        which accumulates attempt/retransmit counts and wall stamps as
+        the message moves.
+        """
+        self._next_msg_id += 1
+        msg_id = self._next_msg_id
+        self.meta[msg_id] = MessageMeta(
+            msg_id=msg_id,
+            sender=sender,
+            recipient=recipient,
+            posted_s=self.now(),
+        )
+        return msg_id
+
+    def delivery_extra(self, msg_id: int | None) -> dict[str, Any] | None:
+        """The ``extra`` payload for a message event, or ``None``."""
+        meta = self.meta.get(msg_id) if msg_id is not None else None
+        return meta.to_extra() if meta is not None else None
 
     # -- internals ----------------------------------------------------------
 
@@ -135,7 +202,13 @@ class LiveTransport:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    def _attempt(self, sender: int, recipient: int, payload: Any) -> bool:
+    def _attempt(
+        self,
+        sender: int,
+        recipient: int,
+        payload: Any,
+        msg_id: int | None = None,
+    ) -> bool:
         """One attempt: sever/drop checks now, delivery after a delay.
 
         An attempt that passes both checks is "on the wire" and will
@@ -143,32 +216,53 @@ class LiveTransport:
         messages survive their sender.
         """
         self.stats.attempts += 1
+        meta = self.meta.get(msg_id) if msg_id is not None else None
+        if meta is not None:
+            meta.attempts += 1
         if self.profile.severed(sender, recipient, self.now()):
             self.stats.severed += 1
             return False
         if self.profile.drops(self.rng):
             self.stats.dropped += 1
             return False
+        if meta is not None:
+            meta.wire_s = self.now()
         delay = self.profile.sample_delay(self.rng)
-        self._spawn(self._deliver(recipient, payload, delay))
+        self._spawn(self._deliver(recipient, payload, delay, msg_id))
         return True
 
-    async def _deliver(self, recipient: int, payload: Any, delay: float) -> None:
+    async def _deliver(
+        self,
+        recipient: int,
+        payload: Any,
+        delay: float,
+        msg_id: int | None = None,
+    ) -> None:
         await asyncio.sleep(delay)
         if recipient in self.crashed:
             self.stats.dead_letters += 1
             return
         self.stats.delivered += 1
+        meta = self.meta.get(msg_id) if msg_id is not None else None
+        if meta is not None:
+            meta.delivered_s = self.now()
         self.inboxes[recipient].queue.put_nowait(payload)
 
     async def _send_reliable(
-        self, sender: int, recipient: int, payload: Any
+        self,
+        sender: int,
+        recipient: int,
+        payload: Any,
+        msg_id: int | None = None,
     ) -> None:
         first = True
         while sender not in self.crashed:
             if not first:
                 self.stats.retransmits += 1
+                meta = self.meta.get(msg_id) if msg_id is not None else None
+                if meta is not None:
+                    meta.retransmits += 1
             first = False
-            if self._attempt(sender, recipient, payload):
+            if self._attempt(sender, recipient, payload, msg_id):
                 return
             await asyncio.sleep(self.rto_s)

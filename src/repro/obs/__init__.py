@@ -34,6 +34,13 @@ On top of the stream sits the *trace oracle* trio:
 * :mod:`repro.obs.diff` — per-process divergence diffing and the
   executable form of the paper's indistinguishability relation.
 
+And the causal layer (PR 7): :mod:`repro.obs.causal` reconstructs the
+happens-before DAG (Lamport/vector clocks, ``msg_id`` send→delivery
+matching, Theorem 3.1 causal cones) from any trace, and
+:mod:`repro.obs.critical` extracts per-decision critical paths,
+attributes live wall latency to send/retransmit/detector-wait legs,
+and audits suspicions against the ground-truth crash wall.
+
 See ``docs/observability.md`` for the event taxonomy, the checker
 catalogue, and a worked example mapping a trace back to the paper's
 run notation.
@@ -48,12 +55,33 @@ from repro.obs.artifacts import (
     git_provenance,
     identity_for_requests,
 )
+from repro.obs.causal import (
+    CausalEdge,
+    CausalGraph,
+    CausalObserver,
+    annotate,
+    cone_signature,
+    cones_indistinguishable,
+    round_msg_id,
+)
+from repro.obs.critical import (
+    DecisionPath,
+    Leg,
+    SuspicionReport,
+    attribute_decision,
+    causal_summary,
+    critical_paths,
+    is_round_trace,
+    suspicion_forensics,
+    verify_round_paths,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     CompositeObserver,
     Event,
     EventLog,
     Observer,
+    clock_kind,
     events_from_jsonl_lines,
     logical_clock,
 )
@@ -96,6 +124,7 @@ from repro.obs.profile import (
 )
 from repro.obs.progress import ProgressReporter, latest_progress
 from repro.obs.report import (
+    causal_cells,
     find_run_dir,
     merge_span_snapshots,
     percentile_summary,
@@ -125,6 +154,7 @@ __all__ = [
     "identity_for_requests",
     "ProgressReporter",
     "latest_progress",
+    "causal_cells",
     "find_run_dir",
     "merge_span_snapshots",
     "percentile_summary",
@@ -140,8 +170,25 @@ __all__ = [
     "Observer",
     "EventLog",
     "CompositeObserver",
+    "clock_kind",
     "events_from_jsonl_lines",
     "logical_clock",
+    "CausalEdge",
+    "CausalGraph",
+    "CausalObserver",
+    "annotate",
+    "cone_signature",
+    "cones_indistinguishable",
+    "round_msg_id",
+    "DecisionPath",
+    "Leg",
+    "SuspicionReport",
+    "attribute_decision",
+    "causal_summary",
+    "critical_paths",
+    "is_round_trace",
+    "suspicion_forensics",
+    "verify_round_paths",
     "CheckReport",
     "ConsensusChecker",
     "DetectorAccuracyChecker",

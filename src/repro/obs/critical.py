@@ -1,0 +1,406 @@
+"""Critical-path extraction, latency attribution and suspicion forensics.
+
+Built on :mod:`repro.obs.causal`'s happens-before DAG:
+
+* :func:`critical_paths` — per ``decide``, the longest causal chain
+  (counted in message hops) from the run's start to the decision.  In
+  the round models the executor records every process's self-delivery,
+  so the hop count of a decision equals its decide round — which is
+  exactly the paper's round-counting latency measure, and Λ on the
+  failure-free run (``Λ(A1)=1``, ``Λ(FloodSet/RWS)≥2``; see
+  ``analysis/latency.py``).
+* :func:`attribute_decision` — for live traces (events carrying
+  ``extra["wall_s"]``), splits a decision's wall latency into named
+  per-round legs: ``send`` (a clean first-attempt delivery gated the
+  round), ``retransmit`` (the gating message needed retransmissions),
+  ``detector-wait`` (the round closed on a suspicion, i.e. the process
+  sat out the detector's silence threshold) and ``local`` (transition
+  and bookkeeping).  The legs telescope: they sum exactly to the
+  decision wall minus the process's first action.
+* :func:`suspicion_forensics` — per ``suspect``, the missed-heartbeat
+  window (from the detector's ``extra`` forensics fields) and whether
+  the ground-truth crash wall justifies the suspicion.
+* :func:`verify_round_paths` — the Λ-bound anomaly check the report
+  layer runs per cell: in any round-model trace, every decision's
+  critical-path length is bounded by its decide round (with equality
+  for flooding algorithms; A1 decides at depth Λ(A1)=1 regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.causal import CausalGraph, annotate
+from repro.obs.events import Event, clock_kind
+from repro.obs.profile import profiled
+
+#: Leg kinds :func:`attribute_decision` can emit.
+LEG_KINDS = ("send", "retransmit", "detector-wait", "local")
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One contiguous slice of a live decision's wall latency."""
+
+    kind: str  # one of LEG_KINDS
+    seconds: float
+    round: int | None = None
+    via: Any = None  # gating msg_id, or the suspected pid
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "seconds": self.seconds}
+        if self.round is not None:
+            out["round"] = self.round
+        if self.via is not None:
+            out["via"] = self.via
+        return out
+
+
+@dataclass
+class DecisionPath:
+    """The critical path behind one ``decide`` event."""
+
+    pid: int
+    value: Any
+    round: int | None
+    index: int  # the decide event's trace index
+    length: int  # message hops on the longest causal chain
+    nodes: list[int] = field(default_factory=list)  # chain, trace order
+    legs: list[Leg] = field(default_factory=list)  # live traces only
+    wall_latency_s: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "pid": self.pid,
+            "value": self.value,
+            "round": self.round,
+            "length": self.length,
+            "nodes": list(self.nodes),
+        }
+        if self.wall_latency_s is not None:
+            out["wall_latency_s"] = self.wall_latency_s
+            out["legs"] = [leg.to_dict() for leg in self.legs]
+        return out
+
+
+def _message_depths(graph: CausalGraph) -> tuple[list[int], list[int | None]]:
+    """Longest-chain DP: message-hop depth and argmax parent per node."""
+    depth: list[int] = []
+    best: list[int | None] = []
+    for index in range(len(graph.events)):
+        node_depth, node_best = 0, None
+        for edge in graph.parents[index]:
+            weight = 1 if edge.kind == "message" else 0
+            candidate = depth[edge.src] + weight
+            if candidate > node_depth or node_best is None:
+                node_depth, node_best = candidate, edge.src
+        depth.append(node_depth)
+        best.append(node_best)
+    return depth, best
+
+
+def critical_paths(
+    events: Sequence[Event], *, graph: CausalGraph | None = None
+) -> list[DecisionPath]:
+    """Extract the critical path of every decision in a trace.
+
+    Wall-clock legs are attached when the trace carries live
+    ``extra["wall_s"]`` stamps (see :func:`attribute_decision`).
+    """
+    with profiled("obs.causal.critical"):
+        if graph is None:
+            graph = annotate(events)
+        depth, best = _message_depths(graph)
+        paths: list[DecisionPath] = []
+        for index in graph.decide_indices():
+            event = events[index]
+            nodes: list[int] = []
+            cursor: int | None = index
+            while cursor is not None:
+                nodes.append(cursor)
+                cursor = best[cursor]
+            nodes.reverse()
+            path = DecisionPath(
+                pid=event.pid,
+                value=event.value,
+                round=event.round,
+                index=index,
+                length=depth[index],
+                nodes=nodes,
+            )
+            attribution = attribute_decision(events, index, graph=graph)
+            if attribution is not None:
+                path.legs, path.wall_latency_s = attribution
+            paths.append(path)
+        return paths
+
+
+# -- live wall-latency attribution ------------------------------------------
+
+
+def _wall(event: Event) -> float | None:
+    if isinstance(event.extra, dict):
+        wall = event.extra.get("wall_s")
+        if isinstance(wall, (int, float)):
+            return float(wall)
+    return None
+
+
+def attribute_decision(
+    events: Sequence[Event],
+    decide_index: int,
+    *,
+    graph: CausalGraph | None = None,
+) -> tuple[list[Leg], float] | None:
+    """Split one live decision's wall latency into named legs.
+
+    Returns ``(legs, wall_latency_s)`` or ``None`` for traces without
+    wall stamps (the deterministic engines).  The model: a live round
+    closes when its last dependency resolves — either the slowest
+    round message is consumed or the detector supplies the missing
+    suspicion — so each round's leg runs from the previous round's
+    close to this one's, and is labelled by what resolved last.  The
+    legs tile ``[first own action, decide]`` exactly, so their sum *is*
+    the reported wall latency.
+    """
+    decide = events[decide_index]
+    decide_wall = _wall(decide)
+    if decide_wall is None or decide.pid is None or decide.round is None:
+        return None
+    pid = decide.pid
+    if graph is None:
+        graph = annotate(events)
+
+    own_walls = [
+        wall
+        for i in graph.events_of(pid)
+        if i <= decide_index and (wall := _wall(events[i])) is not None
+    ]
+    if not own_walls:
+        return None
+    start = min(own_walls)
+
+    suspicions = [
+        (wall, event)
+        for event in events
+        if event.kind == "suspect" and event.pid == pid
+        and (wall := _wall(event)) is not None
+    ]
+    suspicions.sort(key=lambda item: item[0])
+
+    legs: list[Leg] = []
+    cursor = start
+    for round_index in range(1, decide.round + 1):
+        deliveries = [
+            (wall, event)
+            for event in events
+            if event.kind == "msg_delivered"
+            and event.pid == pid
+            and event.round == round_index
+            and (wall := _wall(event)) is not None
+        ]
+        gating = max(deliveries, default=None, key=lambda item: item[0])
+        close = gating[0] if gating is not None else cursor
+        # A suspicion by this process inside the round's window ended a
+        # wait no delivery could: it closes the round when it resolves
+        # after every consumed message.
+        window_suspicions = [
+            (wall, event)
+            for wall, event in suspicions
+            if cursor < wall <= max(close, cursor) or (
+                gating is None and cursor < wall <= decide_wall
+            )
+        ]
+        kind, via = "send", None
+        if gating is not None:
+            _, gate_event = gating
+            extra = gate_event.extra if isinstance(gate_event.extra, dict) else {}
+            via = extra.get("msg_id")
+            if extra.get("retransmits", 0):
+                kind = "retransmit"
+        if window_suspicions and (
+            gating is None or window_suspicions[-1][0] >= gating[0]
+        ):
+            close = max(close, window_suspicions[-1][0])
+            kind, via = "detector-wait", window_suspicions[-1][1].peer
+        close = min(max(close, cursor), decide_wall)
+        if close > cursor:
+            legs.append(
+                Leg(
+                    kind=kind,
+                    seconds=close - cursor,
+                    round=round_index,
+                    via=via,
+                )
+            )
+        cursor = close
+    if decide_wall > cursor:
+        legs.append(Leg(kind="local", seconds=decide_wall - cursor))
+    return legs, decide_wall - start
+
+
+# -- suspicion forensics -----------------------------------------------------
+
+
+@dataclass
+class SuspicionReport:
+    """Why one ``suspect`` event fired, against the ground truth."""
+
+    observer: int
+    suspected: int
+    index: int
+    wall_s: float | None = None
+    delay: Any = None  # engine-reported suspicion latency
+    justified: bool | None = None  # None when no ground truth in trace
+    crash_wall_s: float | None = None
+    misses: int | None = None  # silent monitor passes at suspicion
+    threshold: int | None = None
+    last_heard_s: float | None = None
+    silence_s: float | None = None  # the missed-heartbeat window
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if value is not None or key in ("observer", "suspected", "justified")
+        }
+
+
+def suspicion_forensics(events: Sequence[Event]) -> list[SuspicionReport]:
+    """Audit every suspicion in a trace.
+
+    ``justified`` means the suspected process's crash is in the trace
+    and (when walls are known) happened before the suspicion — the
+    strong accuracy clause of P.  The missed-heartbeat window
+    ``[last_heard_s, wall_s]`` comes from the live detector's
+    forensics fields and is the causal cut the suspicion rests on: no
+    event of the suspected process after ``last_heard_s`` reached the
+    observer's module before it fired.
+    """
+    crash_index: dict[int, int] = {}
+    crash_wall: dict[int, float] = {}
+    for index, event in enumerate(events):
+        if event.kind == "crash" and event.pid is not None:
+            crash_index.setdefault(event.pid, index)
+            wall = _wall(event)
+            if wall is not None:
+                crash_wall.setdefault(event.pid, wall)
+
+    reports: list[SuspicionReport] = []
+    for index, event in enumerate(events):
+        if event.kind != "suspect":
+            continue
+        report = SuspicionReport(
+            observer=event.pid,
+            suspected=event.peer,
+            index=index,
+            wall_s=_wall(event),
+            delay=event.value,
+        )
+        extra = event.extra if isinstance(event.extra, dict) else {}
+        report.misses = extra.get("misses")
+        report.threshold = extra.get("threshold")
+        report.last_heard_s = extra.get("last_heard_s")
+        if report.wall_s is not None and report.last_heard_s is not None:
+            report.silence_s = report.wall_s - report.last_heard_s
+        if event.peer in crash_index:
+            report.crash_wall_s = crash_wall.get(event.peer)
+            if report.wall_s is not None and report.crash_wall_s is not None:
+                report.justified = report.crash_wall_s <= report.wall_s
+            else:
+                # Deterministic engines: P's strong accuracy makes any
+                # in-trace crash ground truth for the suspicion.
+                report.justified = True
+        else:
+            report.justified = False
+        reports.append(report)
+    return reports
+
+
+# -- Λ-bound verification ----------------------------------------------------
+
+
+def is_round_trace(events: Sequence[Event]) -> bool:
+    """True for traces of the round models (incl. live round sessions)."""
+    return any(event.kind == "round_start" for event in events)
+
+
+def verify_round_paths(
+    events: Sequence[Event], *, graph: CausalGraph | None = None
+) -> list[str]:
+    """Check every decision's critical path against the round count.
+
+    In the round models sends precede deliveries within each round, so
+    no causal chain can cross two message hops in one round: a decision
+    at round ``r`` sits at depth at most ``r``.  Algorithms that
+    message every round (the flooding family) meet the bound with
+    equality — their depth *is* the decide round, the paper's Λ count —
+    while one-shot algorithms like A1 decide at depth Λ(A1)=1 even when
+    the decide formally lands in a later round (the extra rounds add no
+    causal work).  A depth *exceeding* the decide round means the
+    happens-before reconstruction or the trace itself is broken.
+    Returns human-readable anomalies (empty when clean).  Non-round
+    traces (step kernel, emulation lifts) are skipped: their depths
+    count SP/SS steps, not rounds.
+    """
+    if not is_round_trace(events):
+        return []
+    problems: list[str] = []
+    for path in critical_paths(events, graph=graph):
+        if path.round is not None and path.length > path.round:
+            problems.append(
+                f"p{path.pid} decided at round {path.round} but its "
+                f"critical path has {path.length} message hops"
+            )
+    return problems
+
+
+# -- one-call cell summary ---------------------------------------------------
+
+
+def causal_summary(
+    events: Sequence[Event], *, graph: CausalGraph | None = None
+) -> dict[str, Any]:
+    """The causal facts of one trace, JSON-ready.
+
+    The per-cell block ``repro causal`` prints and the report layer
+    embeds: clock kind, graph size, every decision's critical path,
+    Λ-bound anomalies, suspicion audits — and for live traces the
+    slowest decision's retransmit share (the fraction of its wall
+    latency spent inside retransmitted gating legs, i.e. how much of
+    the tail the lossy network bought).
+    """
+    if graph is None:
+        graph = annotate(events)
+    paths = critical_paths(events, graph=graph)
+    summary: dict[str, Any] = {
+        "clock": clock_kind(events),
+        "events": len(events),
+        "message_edges": sum(
+            1
+            for edges in graph.parents
+            for edge in edges
+            if edge.kind == "message"
+        ),
+        "decisions": [path.to_dict() for path in paths],
+        "max_path_length": max((path.length for path in paths), default=0),
+        "anomalies": verify_round_paths(events, graph=graph),
+        "suspicions": [
+            report.to_dict() for report in suspicion_forensics(events)
+        ],
+    }
+    timed = [path for path in paths if path.wall_latency_s]
+    if timed:
+        slowest = max(timed, key=lambda path: path.wall_latency_s)
+        retransmit = sum(
+            leg.seconds for leg in slowest.legs if leg.kind == "retransmit"
+        )
+        summary["slowest_decision"] = {
+            "pid": slowest.pid,
+            "wall_latency_s": slowest.wall_latency_s,
+            "retransmit_share": round(
+                retransmit / slowest.wall_latency_s, 4
+            ),
+        }
+    return summary

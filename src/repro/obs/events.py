@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
 
@@ -62,6 +62,12 @@ class Event:
             the suspected process for ``suspect``).
         value: Event-specific payload (decision value, suspicion
             delay, ...).
+        extra: Optional side-channel mapping of causal / wall-clock
+            metadata (``msg_id``, ``wall_s``, retransmit counts,
+            detector forensics).  Only the live runtime populates it;
+            the deterministic engines never do, so their traces stay
+            byte-identical with causal tracing enabled.  Excluded from
+            equality so replay comparisons ignore it.
     """
 
     kind: str
@@ -71,11 +77,12 @@ class Event:
     pid: int | None = None
     peer: int | None = None
     value: Any = None
+    extra: Any = field(default=None, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-ready dict, omitting unset fields."""
         out: dict[str, Any] = {"kind": self.kind, "ts": self.ts}
-        for key in ("round", "time", "pid", "peer", "value"):
+        for key in ("round", "time", "pid", "peer", "value", "extra"):
             val = getattr(self, key)
             if val is not None:
                 out[key] = val
@@ -100,6 +107,7 @@ class Event:
             pid=data.get("pid"),
             peer=data.get("peer"),
             value=data.get("value"),
+            extra=data.get("extra"),
         )
 
 
@@ -137,11 +145,40 @@ def events_from_jsonl_lines(lines: Iterable[str]) -> list[Event]:
     return events
 
 
+def clock_kind(events: Sequence[Event]) -> str:
+    """Classify a trace's timestamp source: ``"logical"`` or ``"wall"``.
+
+    :func:`logical_clock` stamps are exactly ``1.0, 2.0, 3.0, ...`` in
+    record order; anything else (``perf_counter`` floats) is wall
+    clock.  Comparing timestamps across one of each is meaningless —
+    ``repro diff`` and the report layer warn on the mix.
+    """
+    if not events:
+        return "logical"
+    for index, event in enumerate(events, start=1):
+        if event.ts != float(index):
+            return "wall"
+    return "logical"
+
+
 class Observer:
     """The event protocol: every hook is a no-op by default.
 
     Subclass and override the hooks you care about.  All hooks take the
     minimum information the engines have on hand; none return anything.
+
+    Two causal side channels ride along every hook:
+
+    * ``msg_id`` (message hooks only) — the engine's stable identity
+      for the message, pairing each ``msg_sent`` with its
+      ``msg_delivered``/``msg_withheld``.  **Observer-only**: the
+      :class:`EventLog` deliberately drops it, so deterministic traces
+      stay byte-identical; :class:`repro.obs.causal.CausalObserver`
+      captures it.
+    * ``extra`` — a JSON-ready mapping the :class:`EventLog` stores on
+      :attr:`Event.extra` (and therefore serializes).  Only the live
+      runtime's post-hoc replay supplies it; live traces are outside
+      the byte-parity oracles.
     """
 
     __slots__ = ()
@@ -156,11 +193,19 @@ class Observer:
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         """A message from ``sender`` to ``recipient`` reached the network."""
 
     def msg_withheld(
-        self, sender: int, recipient: int, round_index: int
+        self,
+        sender: int,
+        recipient: int,
+        round_index: int,
+        *,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         """A sent message was withheld this round (RWS pending)."""
 
@@ -171,6 +216,8 @@ class Observer:
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         """A message from ``sender`` was received by ``recipient``."""
 
@@ -181,6 +228,7 @@ class Observer:
         round_index: int | None = None,
         time: int | None = None,
         applies_transition: bool | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         """Process ``pid`` crashed.
 
@@ -199,6 +247,7 @@ class Observer:
         *,
         time: int | None = None,
         delay: int | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         """``pid``'s detector module began suspecting ``suspected``.
 
@@ -206,10 +255,23 @@ class Observer:
         when the caller knows it.
         """
 
-    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+    def decide(
+        self,
+        pid: int,
+        value: Any,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         """Process ``pid`` decided ``value``."""
 
-    def halt(self, pid: int, round_index: int | None = None) -> None:
+    def halt(
+        self,
+        pid: int,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         """Process ``pid`` halted — it will never send again."""
 
     def scenario_rejected(self, problems: Sequence[str]) -> None:
@@ -250,6 +312,8 @@ class EventLog(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -259,11 +323,18 @@ class EventLog(Observer):
                 time=time,
                 pid=recipient,
                 peer=sender,
+                extra=extra,
             )
         )
 
     def msg_withheld(
-        self, sender: int, recipient: int, round_index: int
+        self,
+        sender: int,
+        recipient: int,
+        round_index: int,
+        *,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -272,6 +343,7 @@ class EventLog(Observer):
                 round=round_index,
                 pid=recipient,
                 peer=sender,
+                extra=extra,
             )
         )
 
@@ -282,6 +354,8 @@ class EventLog(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -291,6 +365,7 @@ class EventLog(Observer):
                 time=time,
                 pid=recipient,
                 peer=sender,
+                extra=extra,
             )
         )
 
@@ -301,6 +376,7 @@ class EventLog(Observer):
         round_index: int | None = None,
         time: int | None = None,
         applies_transition: bool | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -310,6 +386,7 @@ class EventLog(Observer):
                 time=time,
                 pid=pid,
                 value=applies_transition,
+                extra=extra,
             )
         )
 
@@ -320,6 +397,7 @@ class EventLog(Observer):
         *,
         time: int | None = None,
         delay: int | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.events.append(
             Event(
@@ -329,10 +407,18 @@ class EventLog(Observer):
                 pid=pid,
                 peer=suspected,
                 value=delay,
+                extra=extra,
             )
         )
 
-    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+    def decide(
+        self,
+        pid: int,
+        value: Any,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         self.events.append(
             Event(
                 kind="decide",
@@ -340,12 +426,25 @@ class EventLog(Observer):
                 round=round_index,
                 pid=pid,
                 value=value,
+                extra=extra,
             )
         )
 
-    def halt(self, pid: int, round_index: int | None = None) -> None:
+    def halt(
+        self,
+        pid: int,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         self.events.append(
-            Event(kind="halt", ts=self._clock(), round=round_index, pid=pid)
+            Event(
+                kind="halt",
+                ts=self._clock(),
+                round=round_index,
+                pid=pid,
+                extra=extra,
+            )
         )
 
     # -- queries ------------------------------------------------------------
@@ -415,15 +514,36 @@ class CompositeObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self._fanout(
-            "msg_sent", sender, recipient, round_index=round_index, time=time
+            "msg_sent",
+            sender,
+            recipient,
+            round_index=round_index,
+            time=time,
+            msg_id=msg_id,
+            extra=extra,
         )
 
     def msg_withheld(
-        self, sender: int, recipient: int, round_index: int
+        self,
+        sender: int,
+        recipient: int,
+        round_index: int,
+        *,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
-        self._fanout("msg_withheld", sender, recipient, round_index)
+        self._fanout(
+            "msg_withheld",
+            sender,
+            recipient,
+            round_index,
+            msg_id=msg_id,
+            extra=extra,
+        )
 
     def msg_delivered(
         self,
@@ -432,6 +552,8 @@ class CompositeObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self._fanout(
             "msg_delivered",
@@ -439,6 +561,8 @@ class CompositeObserver(Observer):
             recipient,
             round_index=round_index,
             time=time,
+            msg_id=msg_id,
+            extra=extra,
         )
 
     def crash(
@@ -448,6 +572,7 @@ class CompositeObserver(Observer):
         round_index: int | None = None,
         time: int | None = None,
         applies_transition: bool | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self._fanout(
             "crash",
@@ -455,6 +580,7 @@ class CompositeObserver(Observer):
             round_index=round_index,
             time=time,
             applies_transition=applies_transition,
+            extra=extra,
         )
 
     def suspect(
@@ -464,14 +590,30 @@ class CompositeObserver(Observer):
         *,
         time: int | None = None,
         delay: int | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
-        self._fanout("suspect", pid, suspected, time=time, delay=delay)
+        self._fanout(
+            "suspect", pid, suspected, time=time, delay=delay, extra=extra
+        )
 
-    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
-        self._fanout("decide", pid, value, round_index)
+    def decide(
+        self,
+        pid: int,
+        value: Any,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        self._fanout("decide", pid, value, round_index, extra=extra)
 
-    def halt(self, pid: int, round_index: int | None = None) -> None:
-        self._fanout("halt", pid, round_index)
+    def halt(
+        self,
+        pid: int,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        self._fanout("halt", pid, round_index, extra=extra)
 
     def scenario_rejected(self, problems: Sequence[str]) -> None:
         self._fanout("scenario_rejected", problems)

@@ -209,13 +209,21 @@ class MetricsObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.registry.counter("messages.sent").inc()
         if round_index is not None:
             self.registry.counter(f"messages.sent.round.{round_index}").inc()
 
     def msg_withheld(
-        self, sender: int, recipient: int, round_index: int
+        self,
+        sender: int,
+        recipient: int,
+        round_index: int,
+        *,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.registry.counter("messages.withheld").inc()
         self.registry.counter(f"messages.withheld.round.{round_index}").inc()
@@ -227,6 +235,8 @@ class MetricsObserver(Observer):
         *,
         round_index: int | None = None,
         time: int | None = None,
+        msg_id: Any = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.registry.counter("messages.delivered").inc()
         if round_index is not None:
@@ -241,6 +251,7 @@ class MetricsObserver(Observer):
         round_index: int | None = None,
         time: int | None = None,
         applies_transition: bool | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.registry.counter("crashes").inc()
 
@@ -251,6 +262,7 @@ class MetricsObserver(Observer):
         *,
         time: int | None = None,
         delay: int | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> None:
         self.registry.counter("suspicions").inc()
         if delay is not None:
@@ -258,13 +270,26 @@ class MetricsObserver(Observer):
                 "detector.suspicion_delay.steps"
             ).observe(delay)
 
-    def decide(self, pid: int, value: Any, round_index: int | None = None) -> None:
+    def decide(
+        self,
+        pid: int,
+        value: Any,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         self.registry.counter("decisions").inc()
         if round_index is not None:
             self.registry.counter(f"decisions.round.{round_index}").inc()
             self.registry.histogram("decision.round").observe(round_index)
 
-    def halt(self, pid: int, round_index: int | None = None) -> None:
+    def halt(
+        self,
+        pid: int,
+        round_index: int | None = None,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
         self.registry.counter("halts").inc()
 
     def scenario_rejected(self, problems: Sequence[str]) -> None:

@@ -80,6 +80,56 @@ def merge_span_snapshots(
     return merged
 
 
+def causal_cells(
+    named_events: Iterable[tuple[str, Sequence[Any]]],
+) -> dict[str, Any] | None:
+    """Fold per-cell causal analyses into one summary block.
+
+    For every cell with a trace: the max critical-path hop count, the
+    Λ-bound anomalies (:func:`repro.obs.critical.verify_round_paths`),
+    and for live traces the slowest decision's retransmit share.  Also
+    flags a clock mix — cells stamped by the logical counter are not
+    wall-comparable with live-replayed ones, so cross-cell timestamp
+    comparisons would be meaningless.
+    """
+    from repro.obs.critical import causal_summary
+    from repro.obs.events import clock_kind
+
+    cells: list[dict[str, Any]] = []
+    clocks: set[str] = set()
+    anomaly_cells: list[str] = []
+    for name, events in named_events:
+        if not events:
+            continue
+        summary = causal_summary(events)
+        clocks.add(clock_kind(events))
+        entry: dict[str, Any] = {
+            "cell": name,
+            "max_path_length": summary["max_path_length"],
+            "anomalies": summary["anomalies"],
+        }
+        if "slowest_decision" in summary:
+            entry["retransmit_share"] = summary["slowest_decision"][
+                "retransmit_share"
+            ]
+        if summary["anomalies"]:
+            anomaly_cells.append(name)
+        cells.append(entry)
+    if not cells:
+        return None
+    block: dict[str, Any] = {
+        "cells": cells,
+        "anomaly_cells": anomaly_cells,
+        "clocks": sorted(clocks),
+    }
+    if len(clocks) > 1:
+        block["warning"] = (
+            "trace clocks are mixed (logical and wall); timestamps are "
+            "not comparable across cells"
+        )
+    return block
+
+
 def coverage_over_cells(
     planned: Sequence[tuple[str, str]],
     completed_keys: set[str],
@@ -193,6 +243,13 @@ def summarize_sweep(
     durations.sort(key=lambda entry: entry["duration_s"], reverse=True)
     summary["slowest_cells"] = durations[:10]
 
+    causal = causal_cells(
+        (request.name, getattr(result, "events", None) or [])
+        for request, result in zip(requests, results)
+    )
+    if causal is not None:
+        summary["causal"] = causal
+
     summary["slo_verdicts"] = evaluate_slos(slo or run.slo, summary)
     return summary
 
@@ -206,8 +263,15 @@ def summarize_live(
     oracle_failed: int | None = None,
     extra_spans: Mapping[str, Mapping[str, Any]] | None = None,
     slo: SLOConfig | None = None,
+    events: Sequence[Any] | None = None,
 ) -> dict[str, Any]:
-    """The ``summary.json`` document of one live (cluster) run."""
+    """The ``summary.json`` document of one live (cluster) run.
+
+    ``events`` is session 0's serialized trace when the run recorded
+    one; its causal analysis (critical-path hop counts, the slowest
+    decision's retransmit share, Λ-bound anomalies) is embedded under
+    ``live.causal``.
+    """
     sessions = int(stats.get("sessions", 1) or 1)
     completed = int(stats.get("sessions_completed", 0) or 0)
     quality = stats.get("detector_quality", {}) or {}
@@ -234,6 +298,20 @@ def summarize_live(
             "transport": stats.get("transport"),
         },
     }
+    if events:
+        from repro.obs.critical import causal_summary
+
+        analysis = causal_summary(events)
+        summary["live"]["causal"] = {
+            "max_path_length": analysis["max_path_length"],
+            "anomalies": analysis["anomalies"],
+            "suspicions_justified": sum(
+                1
+                for report in analysis["suspicions"]
+                if report.get("justified")
+            ),
+            "slowest_decision": analysis.get("slowest_decision"),
+        }
     if oracle_failed is not None:
         summary["oracle"] = {"checked": 1, "failed": oracle_failed}
     spans = merge_span_snapshots([dict(extra_spans) if extra_spans else None])
@@ -550,6 +628,35 @@ def render_report(
             f"  detector: {live.get('suspicions', 0)} suspicion(s), "
             f"{live.get('false_suspicions', 0)} false"
         )
+        live_causal = live.get("causal")
+        if live_causal:
+            line = (
+                f"  causal: max path {live_causal.get('max_path_length')} hops"
+            )
+            slowest = live_causal.get("slowest_decision")
+            if slowest:
+                line += (
+                    f", slowest decision {1000 * slowest['wall_latency_s']:.1f}"
+                    f" ms ({100 * slowest['retransmit_share']:.0f}% retransmit)"
+                )
+            lines.append(line)
+            for problem in live_causal.get("anomalies", []):
+                lines.append(f"  CAUSAL ANOMALY: {problem}")
+
+    causal = summary.get("causal")
+    if causal:
+        max_hops = max(
+            (cell["max_path_length"] for cell in causal["cells"]), default=0
+        )
+        lines.append(
+            f"causal: {len(causal['cells'])} cells analyzed, "
+            f"max path {max_hops} hops, "
+            f"{len(causal['anomaly_cells'])} anomalous"
+        )
+        for name in causal["anomaly_cells"][:top]:
+            lines.append(f"  ANOMALY {name}")
+        if causal.get("warning"):
+            lines.append(f"  WARNING: {causal['warning']}")
 
     spans = summary.get("spans")
     if spans:

@@ -29,7 +29,25 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
 }
 
 #: All fields any event may carry.
-_ALLOWED = frozenset({"kind", "ts", "round", "time", "pid", "peer", "value"})
+_ALLOWED = frozenset(
+    {"kind", "ts", "round", "time", "pid", "peer", "value", "extra"}
+)
+
+#: Typed keys inside the optional ``extra`` causal-metadata object.
+#: ``msg_id`` pairs sends with deliveries; the rest are live wall-clock
+#: and forensics fields.  Unknown keys are permitted (the channel is a
+#: side band), but known keys must be well-typed.
+_EXTRA_TYPES: dict[str, tuple[type, ...]] = {
+    "msg_id": (int, str),
+    "wall_s": (int, float),
+    "attempts": (int,),
+    "retransmits": (int,),
+    "wire_s": (int, float),
+    "delivered_s": (int, float),
+    "misses": (int,),
+    "threshold": (int,),
+    "last_heard_s": (int, float),
+}
 
 
 def validate_event_dict(data: dict[str, Any], line: int = 0) -> list[str]:
@@ -57,6 +75,21 @@ def validate_event_dict(data: dict[str, Any], line: int = 0) -> list[str]:
             problems.append(
                 f"{where}{field} must be an integer, got {data[field]!r}"
             )
+    if "extra" in data and data["extra"] is not None:
+        if not isinstance(data["extra"], dict):
+            problems.append(
+                f"{where}extra must be an object, got {data['extra']!r}"
+            )
+        else:
+            for key, types in _EXTRA_TYPES.items():
+                if key in data["extra"] and not isinstance(
+                    data["extra"][key], types
+                ):
+                    problems.append(
+                        f"{where}extra.{key} must be "
+                        f"{' or '.join(t.__name__ for t in types)}, "
+                        f"got {data['extra'][key]!r}"
+                    )
     return problems
 
 

@@ -14,6 +14,7 @@ from types import MappingProxyType
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ScenarioError
+from repro.obs.causal import round_msg_id
 from repro.obs.events import Observer
 from repro.obs.profile import profiled
 from repro.rounds.algorithm import RoundAlgorithm
@@ -225,7 +226,12 @@ def _execute_round(
                 continue  # a self-message nobody will ever read
             sent[(pid, recipient)] = payload
             if observer is not None:
-                observer.msg_sent(pid, recipient, round_index=round_index)
+                observer.msg_sent(
+                    pid,
+                    recipient,
+                    round_index=round_index,
+                    msg_id=round_msg_id(round_index, pid, recipient),
+                )
 
     # Delivery phase: withhold pending messages (RWS only; validated).
     delivered: dict[int, dict[int, Any]] = {pid: {} for pid in range(n)}
@@ -236,11 +242,21 @@ def _execute_round(
             in scenario.pending
         ):
             if observer is not None:
-                observer.msg_withheld(sender, recipient, round_index)
+                observer.msg_withheld(
+                    sender,
+                    recipient,
+                    round_index,
+                    msg_id=round_msg_id(round_index, sender, recipient),
+                )
             continue
         delivered[recipient][sender] = payload
         if observer is not None:
-            observer.msg_delivered(sender, recipient, round_index=round_index)
+            observer.msg_delivered(
+                sender,
+                recipient,
+                round_index=round_index,
+                msg_id=round_msg_id(round_index, sender, recipient),
+            )
 
     # Transition phase: processes completing the round apply trans.
     transitioned: set[int] = set()

@@ -154,7 +154,10 @@ class StepExecutor:
             if observer is not None:
                 for message in delivered:
                     observer.msg_delivered(
-                        message.sender, message.recipient, time=time
+                        message.sender,
+                        message.recipient,
+                        time=time,
+                        msg_id=message.uid,
                     )
                 if suspects is not None:
                     fresh = suspects - seen_suspects.get(pid, frozenset())
@@ -202,7 +205,9 @@ class StepExecutor:
                 buffers[sent_to].append(message)
                 sent_uid = message.uid
                 if observer is not None:
-                    observer.msg_sent(pid, sent_to, time=time)
+                    observer.msg_sent(
+                        pid, sent_to, time=time, msg_id=message.uid
+                    )
 
             schedule.append(
                 Step(

@@ -1,6 +1,8 @@
-"""ASCII renderers for step runs and round runs."""
+"""ASCII renderers for step runs, round runs, and event traces."""
 
 from __future__ import annotations
+
+from typing import Any, Sequence
 
 from repro.rounds.executor import RoundRun
 from repro.simulation.run import Run
@@ -86,6 +88,76 @@ def round_tableau(run: RoundRun) -> str:
             f"{record.index:>5}  "
             + "".join(cell.ljust(width) for cell in cells)
         )
+    return "\n".join(lines)
+
+
+def event_diagram(
+    events: Sequence[Any],
+    *,
+    highlight: Sequence[int] = (),
+    max_rows: int = 120,
+) -> str:
+    """Render an event trace as a space-time diagram.
+
+    Works on any :class:`~repro.obs.events.Event` sequence (exported
+    JSONL, an :class:`~repro.obs.events.EventLog`, a cached result) —
+    unlike :func:`step_diagram`/:func:`round_tableau` it needs no
+    engine-native run object.  One column per process, one row per
+    event, ``round_start`` events become separators.  Cells show the
+    acting process's move: ``s->k`` (sent to k), ``r(j)`` (received
+    from j), ``w(j)`` (a message from j was withheld), ``S(j)``
+    (began suspecting j), ``!v`` (decided v), ``X`` (crash), ``halt``.
+
+    ``highlight`` is a set of trace indices — typically one decision's
+    critical-path nodes from
+    :func:`repro.obs.critical.critical_paths` — marked with ``*``.
+    """
+    pids = sorted(
+        {e.pid for e in events if e.pid is not None}
+        | {e.peer for e in events if e.peer is not None}
+    )
+    if not pids:
+        return "(empty trace)"
+    marked = set(highlight)
+    width = 12
+    header = "   idx  " + "".join(f"p{pid}".ljust(width) for pid in pids)
+    lines = [header, "-" * len(header)]
+    column = {pid: slot for slot, pid in enumerate(pids)}
+    rows = 0
+    for index, event in enumerate(events):
+        if rows >= max_rows:
+            lines.append(f"... ({len(events) - index} more events)")
+            break
+        if event.kind == "round_start":
+            label = f"-- round {event.round} (alive: {event.value}) "
+            lines.append(label + "-" * max(0, len(header) - len(label)))
+            continue
+        actor, cell = event.pid, "?"
+        if event.kind == "msg_sent":
+            actor, cell = event.peer, f"s->{event.pid}"
+        elif event.kind == "msg_delivered":
+            cell = f"r({event.peer})"
+        elif event.kind == "msg_withheld":
+            cell = f"w({event.peer})"
+        elif event.kind == "suspect":
+            cell = f"S({event.peer})"
+        elif event.kind == "decide":
+            cell = f"!{event.value}"
+        elif event.kind == "crash":
+            cell = "X"
+        elif event.kind == "halt":
+            cell = "halt"
+        if index in marked:
+            cell = "*" + cell
+        cells = ["" for _ in pids]
+        if actor in column:
+            cells[column[actor]] = cell
+        star = "*" if index in marked else " "
+        lines.append(
+            f"{star}{index:>5}  "
+            + "".join(text.ljust(width) for text in cells)
+        )
+        rows += 1
     return "\n".join(lines)
 
 

@@ -1,0 +1,500 @@
+"""Tests for happens-before reconstruction, critical paths and forensics.
+
+The causal layer (``repro.obs.causal`` / ``repro.obs.critical``) must
+recover the paper's latency structure from traces alone: the critical
+path behind every decision counts exactly the Λ message hops of
+``analysis/latency.py`` (Λ(A1)=1, Λ(FloodSet/RWS)=2 on failure-free
+runs), causal tracing must not perturb serialized traces by a single
+byte, and the live runtime's wall-latency legs must tile each
+decision's measured latency exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import latency_profile
+from repro.cli.main import main
+from repro.obs import events_from_jsonl_lines
+from repro.obs.causal import (
+    CausalObserver,
+    annotate,
+    cone_signature,
+    cones_indistinguishable,
+    round_msg_id,
+)
+from repro.obs.critical import (
+    LEG_KINDS,
+    causal_summary,
+    critical_paths,
+    suspicion_forensics,
+    verify_round_paths,
+)
+from repro.obs.events import clock_kind, logical_clock
+from repro.obs.report import causal_cells
+from repro.obs.schema import validate_event_dict
+from repro.rounds import RoundModel
+from repro.runtime import (
+    ALGORITHM_FACTORIES,
+    SweepRunner,
+    e10_lambda_space,
+    execute_request,
+    oracle_sweep_space,
+)
+
+
+@pytest.fixture(scope="module")
+def lambda_cells():
+    """Every failure-free Λ-space cell, executed once: (request, result)."""
+    space = e10_lambda_space()
+    return [(request, execute_request(request)) for request in space.requests]
+
+
+@pytest.fixture(scope="module")
+def oracle_sweep():
+    """A small chaos sweep (workloads + adversaries + emulations)."""
+    space = oracle_sweep_space(count=3)
+    sweep = SweepRunner(jobs=1).run(space)
+    by_name = {request.name: request for request in space.requests}
+    return [(by_name[result.name], result) for result in sweep.results]
+
+
+class TestLambdaCriterion:
+    """Critical-path hop counts recover the paper's Λ measure."""
+
+    def test_path_length_equals_decide_latency_per_run(self, lambda_cells):
+        for request, result in lambda_cells:
+            paths = critical_paths(result.events)
+            assert paths, request.name
+            for path in paths:
+                assert path.length == result.latency, request.name
+
+    def test_max_path_over_configs_is_lambda(self, lambda_cells):
+        observed: dict[tuple[str, str], int] = {}
+        for request, result in lambda_cells:
+            longest = max(p.length for p in critical_paths(result.events))
+            key = (request.algorithm, request.model)
+            observed[key] = max(observed.get(key, 0), longest)
+        for (algorithm, model), longest in observed.items():
+            profile = latency_profile(
+                ALGORITHM_FACTORIES[algorithm](), 3, 1, RoundModel[model]
+            )
+            assert longest == profile.Lambda, algorithm
+
+    def test_paper_separation_shows_in_the_depths(self, lambda_cells):
+        depths = {
+            request.algorithm: max(
+                p.length for p in critical_paths(result.events)
+            )
+            for request, result in lambda_cells
+        }
+        assert depths["a1"] == 1
+        assert depths["floodset-ws"] == 2
+
+    def test_no_lambda_bound_anomalies(self, lambda_cells):
+        for request, result in lambda_cells:
+            assert verify_round_paths(result.events) == [], request.name
+
+
+class TestOracleSweep:
+    """The chaos sweep stays anomaly-free under causal analysis."""
+
+    def test_every_cell_verifies(self, oracle_sweep):
+        analyzed = 0
+        for request, result in oracle_sweep:
+            if not result.events:
+                continue
+            analyzed += 1
+            assert verify_round_paths(result.events) == [], request.name
+        assert analyzed > 0
+
+    def test_causal_cells_summary(self, oracle_sweep):
+        summary = causal_cells(
+            (request.name, result.events) for request, result in oracle_sweep
+        )
+        assert summary is not None
+        assert summary["anomaly_cells"] == []
+        assert summary["clocks"] == ["logical"]
+        assert "warning" not in summary
+        assert any(
+            cell["max_path_length"] >= 2 for cell in summary["cells"]
+        )
+
+    def test_causal_cells_warns_on_mixed_clocks(self, oracle_sweep):
+        import dataclasses
+
+        _, result = next(
+            (req, res) for req, res in oracle_sweep if res.events
+        )
+        walled = [
+            dataclasses.replace(event, ts=0.001 * (i + 1))
+            for i, event in enumerate(result.events)
+        ]
+        summary = causal_cells(
+            [("logical-cell", result.events), ("wall-cell", walled)]
+        )
+        assert sorted(summary["clocks"]) == ["logical", "wall"]
+        assert "warning" in summary
+
+
+class TestByteParity:
+    """Causal capture must not change serialized traces at all."""
+
+    def test_serialized_events_carry_no_extra(self, lambda_cells):
+        for _, result in lambda_cells:
+            for event in result.events:
+                assert "extra" not in event.to_dict()
+
+    def test_causal_observer_leaves_trace_byte_identical(self):
+        request = e10_lambda_space().requests[0]
+        plain = execute_request(request)
+        observer = CausalObserver(clock=logical_clock())
+        observed = execute_request(request, observer=observer)
+        assert [e.to_json() for e in plain.events] == [
+            e.to_json() for e in observed.events
+        ]
+        assert observer.engine_msg_ids  # ids captured out of band
+
+    def test_engine_ids_match_structural_pairing_on_rounds(self):
+        request = next(
+            r for r in oracle_sweep_space(count=2).requests
+            if r.engine == "rounds"
+        )
+        observer = CausalObserver(clock=logical_clock())
+        result = execute_request(request, observer=observer)
+        engine_pairs = observer.graph().message_pairs()
+        structural_pairs = annotate(result.events).message_pairs()
+        assert structural_pairs == engine_pairs
+
+    def test_emulation_structural_pairs_subset_of_engine(self):
+        request = next(
+            r for r in oracle_sweep_space(count=2).requests
+            if r.engine == "rws_on_sp"
+        )
+        observer = CausalObserver(clock=logical_clock())
+        result = execute_request(request, observer=observer)
+        engine_pairs = observer.graph().message_pairs()
+        structural_pairs = annotate(result.events).message_pairs()
+        assert set(structural_pairs.items()) <= set(engine_pairs.items())
+
+
+class TestCausalGraph:
+    """Clock and cone invariants of the reconstructed DAG."""
+
+    @pytest.fixture(scope="class")
+    def graph_and_events(self):
+        request = next(
+            r for r in e10_lambda_space().requests
+            if r.algorithm == "floodset-ws"
+        )
+        result = execute_request(request)
+        return annotate(result.events), result.events
+
+    def test_lamport_increases_along_edges(self, graph_and_events):
+        graph, _ = graph_and_events
+        for edge in graph.edges():
+            assert graph.lamport[edge.src] < graph.lamport[edge.dst]
+
+    def test_vector_clock_dominates_parents(self, graph_and_events):
+        graph, _ = graph_and_events
+        for edge in graph.edges():
+            for pid, tick in graph.vector[edge.src].items():
+                assert graph.vector[edge.dst].get(pid, 0) >= tick
+
+    def test_decide_cone_spans_all_processes(self, graph_and_events):
+        graph, events = graph_and_events
+        for index in graph.decide_indices():
+            cone_pids = {
+                graph.proc[i]
+                for i in graph.cone(index)
+                if graph.proc[i] is not None
+            }
+            # FloodSet's decision causally depends on every process.
+            assert cone_pids == {0, 1, 2}
+
+    def test_round_msg_id_is_stable(self):
+        assert round_msg_id(2, 0, 1) == "r2:0>1"
+
+    def test_clock_kind(self, graph_and_events):
+        _, events = graph_and_events
+        assert clock_kind(events) == "logical"
+
+
+class TestIndistinguishability:
+    """Causal cones mechanize Theorem 3.1's premise."""
+
+    @pytest.fixture(scope="class")
+    def quadruple(self):
+        from repro.sdd import SP_CANDIDATE_FACTORIES, sdd_quadruple_traces
+
+        return sdd_quadruple_traces(SP_CANDIDATE_FACTORIES["timeout"])
+
+    def test_receiver_cones_coincide_within_pairs(self, quadruple):
+        from repro.sdd.spec import RECEIVER
+
+        assert cones_indistinguishable(
+            quadruple["r0"].events, quadruple["r0'"].events, RECEIVER
+        )
+        assert cones_indistinguishable(
+            quadruple["r1"].events, quadruple["r1'"].events, RECEIVER
+        )
+
+    def test_all_four_runs_blind_the_receiver(self, quadruple):
+        # The timeout candidate decides before the delayed message can
+        # arrive, so *every* run in the quadruple looks the same to the
+        # receiver — the mechanized form of why the candidate fails SDD.
+        from repro.sdd.spec import RECEIVER
+
+        signatures = {
+            cone_signature(trace.events, RECEIVER)
+            for trace in quadruple.values()
+        }
+        assert len(signatures) == 1
+
+    def test_cone_signature_separates_different_inputs(self, lambda_cells):
+        # Two failure-free FloodSet runs with different initial values
+        # must present different causal cones to every process.
+        results = [
+            result
+            for request, result in lambda_cells
+            if request.algorithm == "floodset-ws"
+        ]
+        assert not cones_indistinguishable(
+            results[0].events, results[-1].events, 0
+        )
+        assert cones_indistinguishable(
+            results[0].events, results[0].events, 0
+        )
+
+
+class TestSchema:
+    """`extra` is validated as a typed side band."""
+
+    def _event(self, **extra):
+        return {
+            "kind": "msg_sent",
+            "ts": 1.0,
+            "pid": 1,
+            "peer": 0,
+            "extra": extra,
+        }
+
+    def test_well_typed_extra_accepted(self):
+        assert validate_event_dict(self._event(msg_id=3, wall_s=0.5)) == []
+
+    def test_bad_msg_id_type_rejected(self):
+        problems = validate_event_dict(self._event(msg_id=[1, 2]))
+        assert any("msg_id" in p for p in problems)
+
+    def test_unknown_extra_keys_allowed(self):
+        assert validate_event_dict(self._event(custom="anything")) == []
+
+
+@pytest.fixture(scope="module")
+def live_trace(tmp_path_factory):
+    """One adversarial live run with a crash, serialized to JSONL."""
+    path = tmp_path_factory.mktemp("live") / "trace.jsonl"
+    code = main(
+        [
+            "live",
+            "--algorithm",
+            "floodset",
+            "--net-profile",
+            "adversarial",
+            "--crash",
+            "2@50",
+            "--seed",
+            "7",
+            "--jsonl",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path, events_from_jsonl_lines(
+        path.read_text(encoding="utf-8").splitlines()
+    )
+
+
+class TestLiveAttribution:
+    """Wall-latency legs tile each live decision exactly."""
+
+    def test_legs_sum_to_wall_latency(self, live_trace):
+        _, events = live_trace
+        timed = [
+            p for p in critical_paths(events) if p.wall_latency_s is not None
+        ]
+        assert timed
+        for path in timed:
+            assert path.legs
+            assert {leg.kind for leg in path.legs} <= set(LEG_KINDS)
+            assert sum(leg.seconds for leg in path.legs) == pytest.approx(
+                path.wall_latency_s, abs=1e-9
+            )
+
+    def test_attribution_names_network_legs(self, live_trace):
+        _, events = live_trace
+        kinds = {
+            leg.kind
+            for path in critical_paths(events)
+            for leg in path.legs
+        }
+        # The adversarial profile forces at least one retransmitted leg.
+        assert "retransmit" in kinds
+
+    def test_suspicions_are_justified_with_forensics(self, live_trace):
+        _, events = live_trace
+        reports = suspicion_forensics(events)
+        assert reports
+        for report in reports:
+            assert report.suspected == 2
+            assert report.justified is True
+            assert report.misses is not None
+            assert report.threshold is not None
+            assert report.silence_s is not None and report.silence_s > 0
+
+    def test_live_trace_passes_causal_layer(self, live_trace):
+        path, events = live_trace
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "check_trace.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_trace", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.causal_problems(events) == []
+        assert module.main([str(path), "--causal"]) == 0
+
+    def test_serialized_live_clock_is_logical(self, live_trace):
+        _, events = live_trace
+        assert clock_kind(events) == "logical"
+        # The wall clock rides in the side band instead.
+        assert any(
+            isinstance(e.extra, dict) and "wall_s" in e.extra for e in events
+        )
+
+    def test_causal_summary_reports_slowest_decision(self, live_trace):
+        _, events = live_trace
+        summary = causal_summary(events)
+        assert summary["decisions"]
+        assert summary["anomalies"] == []
+        slowest = summary["slowest_decision"]
+        assert slowest["wall_latency_s"] > 0
+        assert 0.0 <= slowest["retransmit_share"] <= 1.0
+
+
+class TestCausalCLI:
+    """`repro causal` over traces and run directories."""
+
+    @pytest.fixture(scope="class")
+    def det_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("det") / "trace.jsonl"
+        assert main(
+            ["trace", "floodset-rws-violation", "--jsonl", str(path)]
+        ) == 0
+        return path
+
+    def test_trace_report(self, det_trace, capsys):
+        assert main(["causal", str(det_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "message hops" in out
+        assert "decide" in out
+
+    def test_trace_json(self, det_trace, capsys):
+        assert main(["causal", str(det_trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["decisions"]
+        assert summary["clock"] == "logical"
+
+    def test_decide_filter(self, det_trace, capsys):
+        deciders = [
+            json.loads(line)["pid"]
+            for line in det_trace.read_text(encoding="utf-8").splitlines()
+            if json.loads(line)["kind"] == "decide"
+        ]
+        assert main(
+            ["causal", str(det_trace), "--decide", str(deciders[0])]
+        ) == 0
+        assert main(["causal", str(det_trace), "--decide", "99"]) == 2
+        capsys.readouterr()
+
+    def test_suspect_filter_without_suspicions(self, det_trace, capsys):
+        assert main(["causal", str(det_trace), "--suspect", "99"]) == 2
+        capsys.readouterr()
+
+    def test_diagram(self, det_trace, capsys):
+        assert main(["causal", str(det_trace), "--diagram"]) == 0
+        out = capsys.readouterr().out
+        assert "-- round" in out
+        assert "*" in out  # the marked critical path
+
+    def test_live_trace_report_shows_legs(self, live_trace, capsys):
+        path, _ = live_trace
+        assert main(["causal", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ms wall" in out
+        assert "suspect" in out
+
+    def test_rundir_report(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        assert main(
+            [
+                "sweep",
+                "oracle-sweep",
+                "--count",
+                "2",
+                "--run-dir",
+                str(root),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["causal", str(root), "--json"]) == 0
+        cells = json.loads(capsys.readouterr().out)
+        assert cells
+        assert all(cell["max_path_length"] >= 1 for cell in cells)
+        assert main(["causal", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "path-hops" in out
+
+    def test_missing_rundir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["causal", str(empty)]) == 2
+        capsys.readouterr()
+
+
+class TestDiffClockWarning:
+    """`repro diff` flags wall-vs-logical timestamp mixes."""
+
+    def test_warns_on_mixed_clocks(self, tmp_path, capsys):
+        logical = tmp_path / "logical.jsonl"
+        assert main(
+            ["trace", "floodset-rws-violation", "--jsonl", str(logical)]
+        ) == 0
+        capsys.readouterr()
+        wall = tmp_path / "wall.jsonl"
+        lines = []
+        for i, line in enumerate(
+            logical.read_text(encoding="utf-8").splitlines()
+        ):
+            data = json.loads(line)
+            data["ts"] = 0.001 * (i + 1)
+            lines.append(json.dumps(data))
+        wall.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["diff", str(logical), str(wall)]) == 0
+        err = capsys.readouterr().err
+        assert "logical clock" in err and "wall clock" in err
+
+    def test_silent_on_matching_clocks(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "floodset-rws-violation", "--jsonl", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["diff", str(trace), str(trace)]) == 0
+        assert "warning" not in capsys.readouterr().err
