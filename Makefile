@@ -1,4 +1,4 @@
-.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke causal-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke causal-smoke vector-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -118,6 +118,31 @@ causal-smoke:
 		--jsonl $(CAUSAL_SMOKE_LEGACY)
 	PYTHONPATH=src python scripts/check_trace.py --schema-only \
 		$(CAUSAL_SMOKE_LEGACY)
+
+VECTOR_SMOKE_DIR ?= /tmp/repro_vector_smoke
+
+# The columnar kernel's differential goldens: the vector engine's
+# merged sweep trace must be byte-identical (cmp) to the object
+# engine's on the Λ sweep and on the full oracle-sweep space — under
+# the numpy backend, the forced pure-Python backend, and a 2-worker
+# pool — then a vector fuzz stream, whose replay oracle re-executes
+# every case on the object engine (the built-in vector↔object twin).
+vector-smoke:
+	rm -rf $(VECTOR_SMOKE_DIR) && mkdir -p $(VECTOR_SMOKE_DIR)
+	PYTHONPATH=src python -m repro sweep e10-lambda --check \
+		--jsonl $(VECTOR_SMOKE_DIR)/e10_object.jsonl
+	PYTHONPATH=src python -m repro sweep e10-lambda --check --engine vector \
+		--jsonl $(VECTOR_SMOKE_DIR)/e10_vector.jsonl
+	cmp $(VECTOR_SMOKE_DIR)/e10_object.jsonl $(VECTOR_SMOKE_DIR)/e10_vector.jsonl
+	REPRO_VECTOR_BACKEND=python PYTHONPATH=src python -m repro sweep e10-lambda \
+		--check --engine vector --jsonl $(VECTOR_SMOKE_DIR)/e10_python.jsonl
+	cmp $(VECTOR_SMOKE_DIR)/e10_object.jsonl $(VECTOR_SMOKE_DIR)/e10_python.jsonl
+	PYTHONPATH=src python -m repro sweep oracle-sweep --check \
+		--jsonl $(VECTOR_SMOKE_DIR)/oracle_object.jsonl
+	PYTHONPATH=src python -m repro sweep oracle-sweep --check --engine vector \
+		--jobs 2 --jsonl $(VECTOR_SMOKE_DIR)/oracle_vector.jsonl
+	cmp $(VECTOR_SMOKE_DIR)/oracle_object.jsonl $(VECTOR_SMOKE_DIR)/oracle_vector.jsonl
+	PYTHONPATH=src python -m repro fuzz --budget 100 --seed 0 --engine vector
 
 REPORT_SMOKE_RUNS ?= /tmp/repro_report_smoke_runs
 

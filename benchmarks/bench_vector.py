@@ -1,0 +1,97 @@
+"""Columnar kernel vs object engine — scenario throughput by batch size.
+
+Each benchmark builds an e10-lambda-shaped workload (failure-free
+FloodSetWS cells over n=3 binary initial configurations, the shape the
+Λ sweep executes thousands of times) at batch sizes 1, 64 and 1024, runs
+it per-cell through the object engine and wholesale through
+``execute_batch``, and asserts byte parity — the events of every vector
+cell must serialize identically to its object twin's.  The timings land
+as ``vector.bench.object.bN`` / ``vector.bench.batch.bN`` spans in
+``benchmarks/metrics.jsonl``, from which ``scripts/bench_report.py``
+derives the committed report's per-batch speedups (BENCH_PR8.json).
+"""
+
+from time import perf_counter
+
+from repro.obs.profile import profiled
+from repro.rounds.enumeration import all_value_assignments
+from repro.runtime import execute_batch, execute_request
+from repro.runtime.request import ExecutionRequest
+from repro.workloads import failure_free
+
+#: One shared failure-free scenario per batch: every cell lands in the
+#: same plan group, which is the amortization the kernel is built for.
+N = 3
+
+
+def _cells(batch: int, engine: str) -> list[ExecutionRequest]:
+    scenario = failure_free(N)
+    assignments = list(all_value_assignments(N))
+    return [
+        ExecutionRequest(
+            name=f"bench-vec-{engine}-{index:04d}",
+            engine=engine,
+            algorithm="floodset-ws",
+            values=assignments[index % len(assignments)],
+            t=1,
+            model="RWS",
+            scenario=scenario,
+            max_rounds=4,
+        )
+        for index in range(batch)
+    ]
+
+
+def _run_object(cells):
+    with profiled(f"vector.bench.object.b{len(cells)}"):
+        return [execute_request(cell) for cell in cells]
+
+
+def _run_batch(cells):
+    with profiled(f"vector.bench.batch.b{len(cells)}"):
+        return execute_batch(cells)
+
+
+#: Timed rounds per leg: a sweep amortizes plan/template construction
+#: over thousands of cells, so the steady-state per-cell cost is the
+#: figure the speedup claims — round 1 warms the caches and eats the
+#: allocation/GC transient, the mean over all rounds is what lands in
+#: the profiler span (and hence in BENCH_PR8.json's speedups).
+ROUNDS = 5
+
+
+def _compare(benchmark, batch: int) -> None:
+    started = perf_counter()
+    for _ in range(ROUNDS):
+        base = _run_object(_cells(batch, "rounds"))
+    object_s = (perf_counter() - started) / ROUNDS
+    results = benchmark.pedantic(
+        _run_batch, args=(_cells(batch, "vector"),), rounds=ROUNDS
+    )
+    vector_s = min(benchmark.stats.stats.data)
+    assert len(results) == batch
+    for twin, result in zip(base, results):
+        assert result.decisions == twin.decisions
+        assert [e.to_json() for e in result.events] == [
+            e.to_json() for e in twin.events
+        ]
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["object_s"] = object_s
+    benchmark.extra_info["speedup_vs_object"] = (
+        object_s / vector_s if vector_s > 0 else None
+    )
+
+
+def bench_vector_batch_1(benchmark):
+    """Single-cell overhead: per-call dispatch with warm plan caches."""
+    _compare(benchmark, 1)
+
+
+def bench_vector_batch_64(benchmark):
+    """One template-shared group at the sweep's typical chunk size."""
+    _compare(benchmark, 64)
+
+
+def bench_vector_batch_1024(benchmark):
+    """Λ-sweep scale: a thousand cells through one vectorized call."""
+    _compare(benchmark, 1024)

@@ -3,7 +3,7 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR7.json] [METRICS.jsonl]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR8.json] [METRICS.jsonl]
 
 Reads the per-span profiler breakdown the benchmark suite emits (one
 JSON object per span: count/total/mean/max/p95, newer runs also carry
@@ -34,7 +34,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_METRICS = REPO_ROOT / "benchmarks" / "metrics.jsonl"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
 
 #: Per-span fields copied into the report (missing ones become null).
 FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
@@ -83,7 +83,41 @@ def build_report(spans: dict[str, dict], source: str) -> dict:
     }
     if live:
         report["live_timings"] = live
+    # The columnar engine's spans plus the derived per-batch speedups:
+    # bench_vector.py records paired vector.bench.object.bN /
+    # vector.bench.batch.bN spans over identical workloads, so the
+    # ratio of their means is the scenario-throughput multiplier of
+    # batching at size N.
+    vector = {
+        name: spans[name]
+        for name in sorted(spans)
+        if name.startswith("vector.")
+    }
+    if vector:
+        report["vector_timings"] = vector
+        speedups = vector_speedups(spans)
+        if speedups:
+            report["vector_speedup_vs_object"] = speedups
     return report
+
+
+def vector_speedups(spans: dict[str, dict]) -> dict[str, float]:
+    """``batch label -> object_mean / batch_mean`` for paired bench spans."""
+    speedups: dict[str, float] = {}
+    prefix = "vector.bench.object."
+    for name in sorted(spans):
+        if not name.startswith(prefix):
+            continue
+        label = name[len(prefix):]
+        twin = spans.get(f"vector.bench.batch.{label}")
+        if twin is None:
+            continue
+        object_mean = spans[name].get("mean_s")
+        batch_mean = twin.get("mean_s")
+        if not object_mean or not batch_mean:
+            continue
+        speedups[label] = round(object_mean / batch_mean, 2)
+    return speedups
 
 
 def load_snapshots(root: Path, skip: Path | None = None) -> dict[str, dict]:
@@ -144,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         "-o",
         "--output",
         default=str(DEFAULT_OUTPUT),
-        help="where to write the summary (default: BENCH_PR7.json)",
+        help="where to write the summary (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--no-trajectory",

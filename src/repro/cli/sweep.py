@@ -21,6 +21,8 @@ from repro.obs.artifacts import RunDir, identity_for_requests
 from repro.obs.progress import ProgressReporter
 from repro.obs.report import summarize_sweep
 from repro.runtime import ResultCache, SPACE_FACTORIES, SweepRunner, space_by_name
+from repro.runtime.space import vectorized_space
+from repro.vector import backend_name
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -40,6 +42,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.engine == "vector":
+        space = vectorized_space(space)
+        print(f"vector engine: {backend_name()} backend")
 
     run_dir = None
     reporter = None
@@ -59,6 +64,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "count": args.count,
                 "seed": args.seed,
                 "check": bool(args.check),
+                "engine": args.engine,
             },
         )
         completed_before = run_dir.completed_keys()
@@ -139,6 +145,16 @@ def register(sub: argparse._SubParsersAction) -> None:
         default=1,
         metavar="N",
         help="worker processes (default: 1, serial)",
+    )
+    p_sweep.add_argument(
+        "--engine",
+        choices=("rounds", "vector"),
+        default="rounds",
+        help=(
+            "retarget the space's rounds cells: 'vector' runs them on "
+            "the columnar batch kernel (numpy-backed with the 'fast' "
+            "extra, pure-Python otherwise; byte-identical traces)"
+        ),
     )
     p_sweep.add_argument(
         "--cache-dir",

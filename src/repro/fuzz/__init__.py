@@ -40,6 +40,7 @@ from repro.fuzz.strategies import (
     FUZZ_ENGINES,
     LIVE_FUZZ_ENGINE,
     SAFE_ALGORITHMS,
+    VECTOR_FUZZ_ENGINES,
     case_rng,
     generate_case,
     generate_pattern,
@@ -55,6 +56,7 @@ __all__ = [
     "OracleFailure",
     "SAFE_ALGORITHMS",
     "ShrinkResult",
+    "VECTOR_FUZZ_ENGINES",
     "case_failures",
     "case_rng",
     "check_oracle",

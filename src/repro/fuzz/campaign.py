@@ -43,6 +43,7 @@ from repro.fuzz.shrink import shrink
 from repro.fuzz.strategies import (
     FUZZ_ENGINES,
     LIVE_FUZZ_ENGINE,
+    VECTOR_FUZZ_ENGINES,
     generate_case,
 )
 from repro.inject import active_injection
@@ -175,9 +176,12 @@ class FuzzReport:
 def resolve_engines(names: Sequence[str]) -> tuple[str, ...]:
     """Expand CLI engine selectors into the fuzz-engine round-robin.
 
-    ``all`` covers the four deterministic engines; the wall-clock
-    ``live`` engine is opt-in by name, so default campaigns stay
-    reproducible case-for-case.
+    ``all`` covers the four deterministic engines; ``vector`` expands
+    to the columnar kernel under both round models (every vector case's
+    replay oracle re-executes its trace on the object engine, a
+    built-in vector↔object differential); the wall-clock ``live``
+    engine is opt-in by name, so default campaigns stay reproducible
+    case-for-case.
     """
     engines: list[str] = []
     for name in names:
@@ -185,12 +189,14 @@ def resolve_engines(names: Sequence[str]) -> tuple[str, ...]:
             engines.extend(FUZZ_ENGINES)
         elif name == "rounds":
             engines.extend(("rounds-rs", "rounds-rws"))
-        elif name in FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,):
+        elif name == "vector":
+            engines.extend(VECTOR_FUZZ_ENGINES)
+        elif name in FUZZ_ENGINES + VECTOR_FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,):
             engines.append(name)
         else:
             raise ConfigurationError(
                 f"unknown engine {name!r}; choose from "
-                f"{('all', 'rounds') + FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,)}"
+                f"{('all', 'rounds', 'vector') + FUZZ_ENGINES + VECTOR_FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,)}"
             )
     return tuple(dict.fromkeys(engines))
 
@@ -222,7 +228,7 @@ def _twin_results(
     twins: list[ExecutionRequest] = []
     owners: list[str] = []
     for request, result in zip(requests, results):
-        if request.engine == "rounds":
+        if request.engine in ("rounds", "vector"):
             continue
         data = result.extra.get("induced_scenario")
         if data is None:

@@ -152,8 +152,15 @@ def twin_oracle(
 def replay_oracle(
     request: ExecutionRequest, result: ExecutionResult
 ) -> list[str]:
-    """Byte-exact deterministic replay of a rounds cell (``replay``)."""
-    if request.engine != "rounds":
+    """Byte-exact deterministic replay of a rounds cell (``replay``).
+
+    Vector cells run through the same oracle: the replay re-executes
+    the reconstructed scenario on the *object* engine, so for them this
+    check is the vector↔object differential in one move — a columnar
+    trace that the object executor cannot reproduce byte-for-byte
+    fails here.
+    """
+    if request.engine not in ("rounds", "vector"):
         return []
     try:
         # No max_rounds override: the replay must re-run exactly the

@@ -54,7 +54,7 @@ def _admissible(request: ExecutionRequest) -> bool:
     """A mutant must stay a well-formed case for its engine."""
     if request.n < 2 or request.t < 1 or request.t >= request.n:
         return False
-    if request.engine == "rounds":
+    if request.engine in ("rounds", "vector"):
         return not validate_scenario(
             request.scenario,
             t=request.t,
@@ -157,7 +157,7 @@ def _drop_process(request: ExecutionRequest) -> Iterator[ExecutionRequest]:
     gone = n - 1
     values = request.values[:-1]
     t = min(request.t, n - 2)
-    if request.engine == "rounds":
+    if request.engine in ("rounds", "vector"):
         scenario = request.scenario
         crashes = tuple(
             dc_replace(
@@ -208,7 +208,7 @@ def _value_moves(request: ExecutionRequest) -> Iterator[ExecutionRequest]:
 
 def shrink_moves(request: ExecutionRequest) -> Iterator[ExecutionRequest]:
     """Candidate one-step simplifications, most aggressive first."""
-    if request.engine == "rounds":
+    if request.engine in ("rounds", "vector"):
         yield from _scenario_moves(request)
     else:
         yield from _pattern_moves(request)

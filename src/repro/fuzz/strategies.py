@@ -44,6 +44,13 @@ from repro.runtime.space import derived_seed
 #: four deterministic run semantics with one list.
 FUZZ_ENGINES = ("rounds-rs", "rounds-rws", "rs_on_ss", "rws_on_sp")
 
+#: The columnar kernel as a fuzz target (``--engine vector``), split by
+#: round model like the object executor.  Opt-in rather than part of the
+#: default round-robin: a vector case's replay oracle re-executes the
+#: trace on the *object* engine, so every vector case is already a
+#: built-in vector↔object differential.
+VECTOR_FUZZ_ENGINES = ("vector-rs", "vector-rws")
+
 #: The asyncio cluster runtime is a valid fuzz target too
 #: (``--engine live``) but stays out of the default round-robin: its
 #: runs are wall-clock nondeterministic, so it only joins a campaign
@@ -64,6 +71,11 @@ SAFE_ALGORITHMS = {
     "rs_on_ss": ("floodset", "c-opt", "f-opt", "a1"),
     "rws_on_sp": ("floodset-ws", "c-opt-ws", "f-opt-ws"),
     "live": ("floodset-ws", "c-opt-ws", "f-opt-ws", "chandra-toueg"),
+    # The vector pools mirror the rounds pools: cells whose algorithm
+    # has no plan kernel (c-opt, c-opt-ws) fall back to the object
+    # executor, so the stream fuzzes the fallback seam too.
+    "vector-rs": ("floodset", "c-opt", "f-opt", "a1"),
+    "vector-rws": ("floodset-ws", "c-opt-ws", "f-opt-ws"),
 }
 
 
@@ -116,10 +128,10 @@ def generate_case(
     knobs), so a failing case round-trips through JSON into a repro
     file and back without any ambient state.
     """
-    if engine not in FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,):
+    if engine not in FUZZ_ENGINES + VECTOR_FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,):
         raise ConfigurationError(
             f"unknown fuzz engine {engine!r}; choose from "
-            f"{FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,)}"
+            f"{FUZZ_ENGINES + VECTOR_FUZZ_ENGINES + (LIVE_FUZZ_ENGINE,)}"
         )
     rng = case_rng(seed, index)
     n = rng.randint(3, max(3, max_n))
@@ -135,8 +147,8 @@ def generate_case(
     values = generate_values(rng, n)
     max_rounds = t + 2
     name = f"fuzz-{engine}-{seed}-{index:04d}"
-    if engine in ("rounds-rs", "rounds-rws"):
-        model = "RS" if engine == "rounds-rs" else "RWS"
+    if engine in ("rounds-rs", "rounds-rws") + VECTOR_FUZZ_ENGINES:
+        model = "RS" if engine.endswith("-rs") else "RWS"
         scenario = generate_scenario(
             rng,
             n,
@@ -146,7 +158,7 @@ def generate_case(
         )
         return ExecutionRequest(
             name=name,
-            engine="rounds",
+            engine="vector" if engine in VECTOR_FUZZ_ENGINES else "rounds",
             algorithm=algorithm,
             values=values,
             t=t,

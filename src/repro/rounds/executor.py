@@ -18,7 +18,7 @@ from repro.obs.causal import round_msg_id
 from repro.obs.events import Observer
 from repro.obs.profile import profiled
 from repro.rounds.algorithm import RoundAlgorithm
-from repro.rounds.scenario import FailureScenario, PendingMessage, validate_scenario
+from repro.rounds.scenario import FailureScenario, validate_scenario
 
 
 class RoundModel(enum.Enum):
@@ -211,19 +211,14 @@ def _execute_round(
         if not scenario.alive_at_start(pid, round_index):
             continue
         outgoing = algorithm.messages(pid, states[pid])
-        crash = scenario.crash_of(pid)
-        crashing_now = crash is not None and crash.round == round_index
         for recipient, payload in outgoing.items():
             if not 0 <= recipient < n:
                 raise ConfigurationError(
                     f"{algorithm.name}: p{pid} addressed unknown process "
                     f"{recipient}"
                 )
-            if crashing_now and recipient != pid:
-                if recipient not in crash.sent_to:
-                    continue  # crashed before this send
-            if crashing_now and recipient == pid and not crash.applies_transition:
-                continue  # a self-message nobody will ever read
+            if not scenario.sends_reach(pid, recipient, round_index):
+                continue  # crashed mid-broadcast before this send
             sent[(pid, recipient)] = payload
             if observer is not None:
                 observer.msg_sent(
@@ -236,11 +231,7 @@ def _execute_round(
     # Delivery phase: withhold pending messages (RWS only; validated).
     delivered: dict[int, dict[int, Any]] = {pid: {} for pid in range(n)}
     for (sender, recipient), payload in sent.items():
-        if (
-            sender != recipient
-            and PendingMessage(sender, recipient, round_index)
-            in scenario.pending
-        ):
+        if scenario.withholds(sender, recipient, round_index):
             if observer is not None:
                 observer.msg_withheld(
                     sender,

@@ -145,6 +145,30 @@ class FailureScenario:
             return event.applies_transition
         return False
 
+    def sends_reach(self, sender: int, recipient: int, round_index: int) -> bool:
+        """Whether a live ``sender``'s round-``round_index`` message to
+        ``recipient`` reaches the network.
+
+        Encodes the crash-mid-broadcast rule both executors share: a
+        process crashing this round only reaches the recipients in its
+        ``sent_to`` set, and its self-addressed message exists only if
+        it lives long enough to read it (``applies_transition``).  The
+        caller guarantees the sender is alive at the round's start.
+        """
+        crash = self.crash_of(sender)
+        if crash is None or crash.round != round_index:
+            return True
+        if recipient == sender:
+            return crash.applies_transition
+        return recipient in crash.sent_to
+
+    def withholds(self, sender: int, recipient: int, round_index: int) -> bool:
+        """Whether a sent message is withheld this round (RWS pending)."""
+        return (
+            sender != recipient
+            and PendingMessage(sender, recipient, round_index) in self.pending
+        )
+
     def initially_dead(self) -> frozenset[int]:
         return frozenset(
             event.pid

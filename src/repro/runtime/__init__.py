@@ -12,7 +12,9 @@ plumbing with a single interface:
 * :class:`~repro.runtime.harness.Harness` adapters
   (:class:`~repro.runtime.harness.RoundHarness`,
   :class:`~repro.runtime.harness.SSEmulationHarness`,
-  :class:`~repro.runtime.harness.SPEmulationHarness`) behind
+  :class:`~repro.runtime.harness.SPEmulationHarness`,
+  :class:`~repro.runtime.harness.VectorHarness` — the columnar batch
+  kernel, reached wholesale via :func:`execute_batch`) behind
   :func:`execute_request`;
 * :class:`ScenarioSpace` — the canonical enumerator of run sets
   (explicit lists, workload aliases, seeded random streams with
@@ -34,11 +36,18 @@ from repro.runtime.harness import (
     RoundHarness,
     SPEmulationHarness,
     SSEmulationHarness,
+    VectorHarness,
+    execute_batch,
     execute_request,
     harness_for,
 )
 from repro.runtime.pool import default_jobs, parallel_map
-from repro.runtime.registry import ALGORITHM_FACTORIES, make_algorithm
+from repro.runtime.registry import (
+    ALGORITHM_FACTORIES,
+    VECTOR_KERNELS,
+    has_vector_kernel,
+    make_algorithm,
+)
 from repro.runtime.request import (
     CACHE_SCHEMA_VERSION,
     ENGINES,
@@ -82,12 +91,16 @@ __all__ = [
     "ScenarioSpace",
     "SweepResult",
     "SweepRunner",
+    "VECTOR_KERNELS",
+    "VectorHarness",
     "check_cell",
     "default_jobs",
     "derived_seed",
     "e10_lambda_space",
+    "execute_batch",
     "execute_request",
     "harness_for",
+    "has_vector_kernel",
     "make_algorithm",
     "oracle_sweep_space",
     "parallel_map",

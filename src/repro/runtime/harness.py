@@ -16,7 +16,7 @@ ships to workers.
 from __future__ import annotations
 
 import random
-from typing import Any, Mapping, Protocol
+from typing import Any, Mapping, Protocol, Sequence
 
 from repro.emulation import emulate_rs_on_ss, emulate_rws_on_sp
 from repro.errors import ConfigurationError
@@ -169,6 +169,35 @@ class SPEmulationHarness:
         return _emulation_extras(trace)
 
 
+class VectorHarness:
+    """The columnar batch kernel behind the uniform interface.
+
+    Runs the same RS/RWS round semantics as :class:`RoundHarness`, but
+    batched: per-process state lives in arrays and whole groups of
+    cells sharing a scenario execute in one vectorized call (see
+    :func:`execute_batch`).  Single-cell execution streams the same
+    observer hooks — same structural ``msg_id``s included — so traces
+    are byte-identical to the object engine's; cells the kernel cannot
+    take fall back to the object executor transparently.
+    """
+
+    engine = "vector"
+
+    def execute(
+        self, request: ExecutionRequest, observer: Observer | None
+    ) -> Any:
+        from repro.vector.engine import execute_vector_request
+
+        return execute_vector_request(request, observer)
+
+    def summarize(self, run: Any):
+        # VectorRun and the fallback's RoundRun share this shape.
+        return dict(run.decisions), run.latency(), run.num_rounds
+
+    def extras(self, run: Any) -> dict[str, Any]:
+        return {}
+
+
 class LiveHarness:
     """The asyncio cluster runtime (heartbeat-built P) behind the seam.
 
@@ -202,6 +231,7 @@ HARNESSES: Mapping[str, Any] = {
         SSEmulationHarness(),
         SPEmulationHarness(),
         LiveHarness(),
+        VectorHarness(),
     )
 }
 
@@ -244,3 +274,36 @@ def execute_request(
         num_rounds=num_rounds,
         extra=harness.extras(run),
     )
+
+
+def execute_batch(
+    requests: Sequence[ExecutionRequest],
+) -> list[ExecutionResult]:
+    """Execute many cells at once, batching where an engine supports it.
+
+    The batch seam behind :class:`~repro.runtime.sweep.SweepRunner`:
+    ``engine="vector"`` cells are grouped by shared scenario and run
+    through the columnar kernel in whole-batch calls; every other cell
+    goes through :func:`execute_request` one at a time.  Results come
+    back in input order and are byte-identical — events, metrics, cache
+    keys — to executing each request individually, so result caching
+    and the trace oracles are oblivious to the batching.
+    """
+    vector_indices = [
+        index
+        for index, request in enumerate(requests)
+        if request.engine == "vector"
+    ]
+    results: list[ExecutionResult | None] = [None] * len(requests)
+    if vector_indices:
+        from repro.vector.engine import execute_vector_batch
+
+        batched = execute_vector_batch(
+            [requests[index] for index in vector_indices]
+        )
+        for index, result in zip(vector_indices, batched):
+            results[index] = result
+    for index, request in enumerate(requests):
+        if results[index] is None:
+            results[index] = execute_request(request)
+    return [result for result in results if result is not None]

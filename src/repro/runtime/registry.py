@@ -24,6 +24,8 @@ from repro.consensus import (
 )
 from repro.errors import ConfigurationError
 from repro.rounds.algorithm import RoundAlgorithm
+from repro.vector.kernels import PLAN_KERNELS as VECTOR_KERNELS
+from repro.vector.kernels import plan_kernel_for
 
 #: Every round algorithm a request may name.  Zero-argument factories:
 #: the algorithms are stateless between runs, so a fresh instance per
@@ -39,6 +41,20 @@ ALGORITHM_FACTORIES: dict[str, Callable[[], RoundAlgorithm]] = {
     "eager-floodset-ws": EagerFloodSetWS,
     "atomic-broadcast": AtomicBroadcast,
 }
+
+
+def has_vector_kernel(name: str, *, n: int | None = None, t: int | None = None) -> bool:
+    """Whether ``engine="vector"`` can run ``name`` on its columnar kernel.
+
+    The vector engine mirrors a registered algorithm's transition table
+    as a batched plan kernel (:data:`VECTOR_KERNELS`); algorithms
+    without one — and configurations a kernel refuses, when ``n``/``t``
+    are given — still execute under ``engine="vector"`` but fall back
+    to the object executor cell by cell.
+    """
+    if n is None or t is None:
+        return name in VECTOR_KERNELS
+    return plan_kernel_for(name, n, t) is not None
 
 
 def make_algorithm(name: str) -> RoundAlgorithm:

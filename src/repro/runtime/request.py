@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.failures.pattern import FailurePattern
@@ -42,8 +42,11 @@ from repro.serialize import (
 #: v2: results carry ``extra`` (the emulations' induced round scenario).
 CACHE_SCHEMA_VERSION = 2
 
-#: The engines a request may target.
-ENGINES = ("rounds", "rs_on_ss", "rws_on_sp", "live")
+#: The engines a request may target.  ``"vector"`` runs the same RS/RWS
+#: round semantics as ``"rounds"`` on the columnar batch kernel
+#: (:mod:`repro.vector`) — same inputs, byte-identical traces, distinct
+#: cache keys (the engine name is part of the request).
+ENGINES = ("rounds", "rs_on_ss", "rws_on_sp", "live", "vector")
 
 
 @dataclass(frozen=True)
@@ -53,9 +56,10 @@ class ExecutionRequest:
     Attributes:
         name: Human-readable cell label (unique within a space).
         engine: ``"rounds"`` (the RS/RWS round executor),
-            ``"rs_on_ss"`` or ``"rws_on_sp"`` (the Section 4
-            emulations on the step kernels), or ``"live"`` (the
-            asyncio cluster runtime with heartbeat-built P).
+            ``"vector"`` (the columnar batch kernel running the same
+            round semantics), ``"rs_on_ss"`` or ``"rws_on_sp"`` (the
+            Section 4 emulations on the step kernels), or ``"live"``
+            (the asyncio cluster runtime with heartbeat-built P).
         algorithm: Registry key (see :mod:`repro.runtime.registry`).
         values: Initial value per process; fixes ``n``.
         t: Resilience parameter.
@@ -99,11 +103,11 @@ class ExecutionRequest:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
-        if self.engine == "rounds":
+        if self.engine in ("rounds", "vector"):
             if self.scenario is None or self.model not in ("RS", "RWS"):
                 raise ConfigurationError(
-                    f"{self.name}: the rounds engine needs a scenario and "
-                    "model='RS'|'RWS'"
+                    f"{self.name}: the {self.engine} engine needs a scenario "
+                    "and model='RS'|'RWS'"
                 )
         else:
             if self.pattern is None:
@@ -197,6 +201,145 @@ class ExecutionRequest:
             payload["injected_bug"] = injected
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _dumps(value: Any) -> str:
+    """One fragment of the canonical form, same dialect as the whole."""
+    return json.dumps(value, sort_keys=True, default=repr)
+
+
+def _scalar_fragment(value: Any) -> str:
+    """``_dumps`` with the fixed-output scalars short-circuited — the
+    per-cell fields are almost always bools/ints/None, and skipping the
+    encoder for them is most of :func:`batch_cache_keys`'s win."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "null"
+    if type(value) is int:
+        return str(value)
+    return _dumps(value)
+
+
+def _values_fragment(values: Sequence[Any]) -> str:
+    if all(type(value) is int for value in values):
+        # json.dumps's default list separator is ", ".
+        return "[" + ", ".join(map(str, values)) + "]"
+    return _dumps(list(values))
+
+
+def batch_cache_keys(requests: Sequence["ExecutionRequest"]) -> list[str]:
+    """:meth:`ExecutionRequest.cache_key` for many requests at once.
+
+    Identical output to calling ``cache_key()`` per request, but the
+    canonical JSON's *shared* fragments — dominated by the scenario —
+    are serialized once per distinct ``(engine, algorithm, t, model,
+    scenario, pattern, max_rounds, params)`` shape and only the
+    per-cell fields (name, values, seed, consensus flags) are dumped
+    and spliced per request.  The splice of each shape's first request
+    is verified byte-for-byte against the full computation; any
+    mismatch (or an active bug injection, whose marker changes the
+    payload layout) falls back to the reference path for that shape.
+    A thousand-cell batch over one adversary hashes the adversary once
+    instead of a thousand times, which is what keeps the columnar
+    engine's per-cell overhead flat.
+    """
+    keys: list[str] = [""] * len(requests)
+    fragments: dict[tuple, tuple[str, ...] | None] = {}
+    injected = active_injection()
+    for index, request in enumerate(requests):
+        if injected is not None:
+            keys[index] = request.cache_key()
+            continue
+        # Identity-keyed on the adversary objects: spaces share one
+        # scenario instance across a group's cells, and id-keying
+        # avoids re-hashing a large frozen scenario per cell.  Distinct
+        # but equal instances merely rebuild the fragments.
+        shape = (
+            request.engine,
+            request.algorithm,
+            request.t,
+            request.model,
+            id(request.scenario),
+            id(request.pattern),
+            request.max_rounds,
+            request.params,
+        )
+        pieces = fragments.get(shape, _MISSING)
+        if pieces is _MISSING:
+            # json.dumps(sort_keys=True) fixes the request-dict key
+            # order, so the canonical string factors into static
+            # fragments around the five per-cell fields.
+            pieces = (
+                '{"request": {"algorithm": '
+                + _dumps(request.algorithm)
+                + ', "check_consensus": ',
+                ', "engine": '
+                + _dumps(request.engine)
+                + ', "expect_disagreement": ',
+                ', "max_rounds": '
+                + _dumps(request.max_rounds)
+                + ', "model": '
+                + _dumps(request.model)
+                + ', "name": ',
+                ', "params": '
+                + _dumps([list(pair) for pair in request.params])
+                + ', "pattern": '
+                + _dumps(
+                    pattern_to_dict(request.pattern)
+                    if request.pattern is not None
+                    else None
+                )
+                + ', "scenario": '
+                + _dumps(
+                    scenario_to_dict(request.scenario)
+                    if request.scenario is not None
+                    else None
+                )
+                + ', "seed": ',
+                ', "t": ' + _dumps(request.t) + ', "values": ',
+                '}, "v": ' + _dumps(CACHE_SCHEMA_VERSION) + "}",
+            )
+            if (
+                hashlib.sha256(
+                    _splice(pieces, request).encode("utf-8")
+                ).hexdigest()
+                != request.cache_key()
+            ):  # pragma: no cover - canonical-format drift guard
+                pieces = None
+            fragments[shape] = pieces
+        if pieces is None:
+            keys[index] = request.cache_key()
+        else:
+            canonical = _splice(pieces, request)
+            keys[index] = hashlib.sha256(
+                canonical.encode("utf-8")
+            ).hexdigest()
+    return keys
+
+
+def _splice(pieces: tuple[str, ...], request: "ExecutionRequest") -> str:
+    """Interleave a shape's static fragments with one cell's fields."""
+    return "".join(
+        (
+            pieces[0],
+            _scalar_fragment(request.check_consensus),
+            pieces[1],
+            _scalar_fragment(request.expect_disagreement),
+            pieces[2],
+            _dumps(request.name),
+            pieces[3],
+            _scalar_fragment(request.seed),
+            pieces[4],
+            _values_fragment(request.values),
+            pieces[5],
+        )
+    )
+
+
+_MISSING = object()
 
 
 @dataclass

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
@@ -356,6 +356,25 @@ def random_space(
         n=4,
         count=count,
         seed=seed,
+    )
+
+
+def vectorized_space(space: ScenarioSpace) -> ScenarioSpace:
+    """The same space with every rounds cell retargeted at the vector engine.
+
+    Emulation and live cells pass through untouched.  Cell names are
+    preserved — the engine field is part of every cache key, so the
+    rewritten cells cache separately from their object-engine twins
+    while the merged traces stay byte-identical.
+    """
+    return ScenarioSpace(
+        name=space.name,
+        requests=tuple(
+            replace(request, engine="vector")
+            if request.engine == "rounds"
+            else request
+            for request in space.requests
+        ),
     )
 
 

@@ -34,7 +34,7 @@ from repro.obs.events import Event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler, get_profiler, profiled, set_profiler
 from repro.runtime.cache import ResultCache
-from repro.runtime.harness import execute_request
+from repro.runtime.harness import execute_batch, execute_request
 from repro.runtime.pool import parallel_map
 from repro.runtime.request import ExecutionRequest, ExecutionResult
 from repro.runtime.space import ScenarioSpace
@@ -74,10 +74,48 @@ def _execute_cell(request: ExecutionRequest) -> ExecutionResult:
     return result
 
 
+def _execute_chunk(requests: list[ExecutionRequest]) -> list[ExecutionResult]:
+    """Worker entry point: one chunk of cells, batched where possible.
+
+    Singleton non-vector chunks take the classic per-cell path
+    (:func:`_execute_cell`, with its per-cell span snapshot); vector
+    chunks run through :func:`~repro.runtime.harness.execute_batch` so
+    the columnar kernel amortizes plan construction and trace templates
+    across the whole chunk.  The batch is timed as a unit and the
+    wall-clock share is split evenly across its cells — per-cell
+    telemetry stays plausible while the determinism contract (events,
+    metrics) is untouched by the batching.
+    """
+    if len(requests) == 1 and requests[0].engine != "vector":
+        return [_execute_cell(requests[0])]
+    outer = get_profiler()
+    local = Profiler()
+    set_profiler(local)
+    started = perf_counter()
+    try:
+        batch = execute_batch(requests)
+    finally:
+        set_profiler(outer)
+    duration = perf_counter() - started
+    if outer is not None:
+        for name, samples in local.spans.items():
+            for sample in samples:
+                outer.record(name, sample)
+    share = duration / len(batch) if batch else 0.0
+    spans = local.snapshot()
+    for position, result in enumerate(batch):
+        result.extra["profile"] = {
+            "duration_s": share,
+            "spans": spans if position == 0 else {},
+        }
+    return batch
+
+
 def check_model_for(request: ExecutionRequest) -> str | None:
     """Which synchrony checker applies to a cell's trace.
 
-    The rounds engine checks its own model.  The SS emulation's trace
+    The rounds engine — and the vector engine, which runs the same
+    RS/RWS semantics columnar — checks its own model.  The SS emulation's trace
     is step-level (no round-model synchrony claim to check, the
     deadline arithmetic is validated by its dedicated checker), so only
     the model-agnostic invariants run; the SP emulation lifts pending
@@ -87,7 +125,7 @@ def check_model_for(request: ExecutionRequest) -> str | None:
     Lemma 4.1 crash bound (its step-mode traces carry no withheld
     events, so the checker is vacuous there).
     """
-    if request.engine == "rounds":
+    if request.engine in ("rounds", "vector"):
         return request.model
     if request.engine in ("rws_on_sp", "live"):
         return "RWS"
@@ -131,7 +169,8 @@ def check_cell(
     """Run the trace oracle over one cell's events."""
     initial_values = (
         request.values
-        if request.engine in ("rounds", "live") and request.check_consensus
+        if request.engine in ("rounds", "live", "vector")
+        and request.check_consensus
         else None
     )
     report = check_events(
@@ -319,24 +358,44 @@ class SweepRunner:
             else:
                 misses = list(range(len(requests)))
 
-            # Execute phase: fan the misses out, in space order.  Each
-            # result is cached (and reported) the moment it arrives, so
-            # a campaign killed mid-sweep keeps every completed prefix
-            # cell — that is what makes run directories resumable.
-            miss_iter = iter(misses)
+            # Execute phase: fan the misses out as chunks.  Vector-engine
+            # cells coalesce into batch chunks (split across the workers)
+            # so the columnar kernel amortizes plans and trace templates;
+            # everything else stays a singleton chunk on the classic
+            # per-cell path.  Each chunk's results are cached (and
+            # reported) the moment they arrive, so a campaign killed
+            # mid-sweep keeps every completed cell — that is what makes
+            # run directories resumable.
+            chunks: list[list[int]] = []
+            vector_misses: list[int] = []
+            for index in misses:
+                if requests[index].engine == "vector":
+                    vector_misses.append(index)
+                else:
+                    chunks.append([index])
+            if vector_misses:
+                size = -(-len(vector_misses) // max(1, self.jobs))
+                chunks.extend(
+                    vector_misses[start : start + size]
+                    for start in range(0, len(vector_misses), size)
+                )
+            chunk_iter = iter(chunks)
 
-            def _arrived(result: ExecutionResult) -> None:
-                index = next(miss_iter)
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(requests[index], result)
-                if self.on_cell is not None:
-                    self.on_cell(requests[index], result)
+            def _arrived(batch: list[ExecutionResult]) -> None:
+                for index, result in zip(next(chunk_iter), batch):
+                    results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(requests[index], result)
+                    if self.on_cell is not None:
+                        self.on_cell(requests[index], result)
 
             with profiled("runtime.sweep.execute"):
                 parallel_map(
-                    _execute_cell,
-                    [requests[index] for index in misses],
+                    _execute_chunk,
+                    [
+                        [requests[index] for index in chunk]
+                        for chunk in chunks
+                    ],
                     jobs=self.jobs,
                     on_result=_arrived,
                 )

@@ -8,6 +8,7 @@ optional failure-detector history, matching the paper's framing where
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError, ScheduleError
@@ -20,6 +21,47 @@ from repro.simulation.message import Message
 from repro.simulation.run import Run
 from repro.simulation.schedule import Schedule, Step
 from repro.simulation.schedulers import Scheduler, SchedulerView
+
+
+@dataclass
+class ProcessColumns:
+    """The step executor's mutable run state, one column per field.
+
+    Index-addressed parallel lists (position = pid) — the same
+    process-axis layout the columnar engine (:mod:`repro.vector`) uses
+    for its array state, applied to the step kernel's object states.
+    States hold arbitrary automaton objects, so the columns stay plain
+    Python lists; what the layout buys is a single state-store seam:
+    every per-process update in the executor goes through one indexed
+    structure instead of three ad-hoc dicts.
+    """
+
+    states: list[Any]
+    buffers: list[list[Message]]
+    local_steps: list[int]
+
+    @classmethod
+    def initial(
+        cls, automata: Sequence[StepAutomaton], n: int
+    ) -> "ProcessColumns":
+        return cls(
+            states=[
+                automata[pid].initial_state(pid, n) for pid in range(n)
+            ],
+            buffers=[[] for _ in range(n)],
+            local_steps=[0] * n,
+        )
+
+    def states_dict(self) -> dict[int, Any]:
+        """The ``pid -> state`` mapping callers and :class:`Run` expect."""
+        return dict(enumerate(self.states))
+
+    def buffer_views(self) -> dict[int, tuple[Message, ...]]:
+        """Immutable per-process buffer snapshots (scheduler/run views)."""
+        return {
+            pid: tuple(buffered)
+            for pid, buffered in enumerate(self.buffers)
+        }
 
 
 class StepExecutor:
@@ -95,13 +137,8 @@ class StepExecutor:
         *,
         stop_when: Callable[[dict[int, Any]], bool] | None = None,
     ) -> Run:
-        states: dict[int, Any] = {
-            pid: self._automata[pid].initial_state(pid, self.n)
-            for pid in range(self.n)
-        }
-        initial_states = dict(states)
-        buffers: dict[int, list[Message]] = {pid: [] for pid in range(self.n)}
-        local_steps = {pid: 0 for pid in range(self.n)}
+        columns = ProcessColumns.initial(self._automata, self.n)
+        initial_states = columns.states_dict()
         schedule = Schedule(n=self.n)
         messages: dict[int, Message] = {}
         snapshots: list[Any] | None = [] if self.record_states else None
@@ -126,10 +163,8 @@ class StepExecutor:
                 time=time,
                 n=self.n,
                 alive=alive,
-                buffers={
-                    pid: tuple(buffered) for pid, buffered in buffers.items()
-                },
-                local_steps=dict(local_steps),
+                buffers=columns.buffer_views(),
+                local_steps=dict(enumerate(columns.local_steps)),
             )
             choice = self.scheduler.choose(view)
             if choice is None:
@@ -141,10 +176,10 @@ class StepExecutor:
                 )
 
             delivered, remaining = self._split_delivery(
-                buffers[pid], choice.deliver_uids, time
+                columns.buffers[pid], choice.deliver_uids, time
             )
-            buffers[pid] = remaining
-            local_steps[pid] += 1
+            columns.buffers[pid] = remaining
+            columns.local_steps[pid] += 1
 
             suspects = (
                 self.history.suspects(pid, time)
@@ -177,13 +212,13 @@ class StepExecutor:
             ctx = StepContext(
                 pid=pid,
                 n=self.n,
-                state=states[pid],
+                state=columns.states[pid],
                 received=tuple(delivered),
-                local_step=local_steps[pid],
+                local_step=columns.local_steps[pid],
                 suspects=suspects,
             )
             outcome = self._automata[pid].on_step(ctx)
-            states[pid] = outcome.state
+            columns.states[pid] = outcome.state
 
             sent_uid: int | None = None
             sent_to: int | None = None
@@ -202,7 +237,7 @@ class StepExecutor:
                 )
                 next_uid += 1
                 messages[message.uid] = message
-                buffers[sent_to].append(message)
+                columns.buffers[sent_to].append(message)
                 sent_uid = message.uid
                 if observer is not None:
                     observer.msg_sent(
@@ -217,13 +252,13 @@ class StepExecutor:
                     received_uids=tuple(m.uid for m in delivered),
                     sent_uid=sent_uid,
                     sent_to=sent_to,
-                    local_step=local_steps[pid],
+                    local_step=columns.local_steps[pid],
                     suspects=suspects,
                 )
             )
             if snapshots is not None:
-                snapshots.append(states[pid])
-            if stop_when is not None and stop_when(states):
+                snapshots.append(columns.states[pid])
+            if stop_when is not None and stop_when(columns.states_dict()):
                 break
 
         return Run(
@@ -231,11 +266,9 @@ class StepExecutor:
             pattern=self.pattern,
             schedule=schedule,
             initial_states=initial_states,
-            final_states=dict(states),
+            final_states=columns.states_dict(),
             messages=messages,
-            undelivered={
-                pid: tuple(buffered) for pid, buffered in buffers.items()
-            },
+            undelivered=columns.buffer_views(),
             history=self.history,
             state_snapshots=snapshots,
         )

@@ -56,8 +56,14 @@ def percentile(values: Sequence[float] | Iterable[float], p: float) -> float:
     """The ``p``-th percentile of a non-empty sample (0 <= p <= 100).
 
     Linear interpolation between closest ranks — the same convention as
-    ``numpy.percentile``'s default — so ``percentile(data, 50)`` equals
-    the median.
+    ``numpy.percentile``'s default ("linear" method) — so
+    ``percentile(data, 50)`` equals the median.  The interpolation uses
+    numpy's two-branch lerp (``a + (b-a)·t`` for ``t < 0.5``,
+    ``b - (b-a)·(1-t)`` otherwise), which keeps the result monotone in
+    ``t`` under floating point and makes the value *bit-identical* to
+    ``numpy.percentile``; the previous ``a·(1-t) + b·t`` form drifted
+    by one ulp on some inputs, enough to flip threshold comparisons in
+    SLO checks.
     """
     data = sorted(values)
     if not data:
@@ -72,7 +78,12 @@ def percentile(values: Sequence[float] | Iterable[float], p: float) -> float:
     if lower == upper:
         return float(data[lower])
     weight = rank - lower
-    return data[lower] * (1 - weight) + data[upper] * weight
+    a = float(data[lower])
+    b = float(data[upper])
+    diff = b - a
+    if weight < 0.5:
+        return a + diff * weight
+    return b - diff * (1 - weight)
 
 
 def rate(hits: int, total: int) -> float:

@@ -1,0 +1,66 @@
+"""Array-backend selection for the columnar kernel.
+
+The vectorized engine runs on either of two interchangeable backends:
+
+* ``numpy`` — batched ``(B, n)`` ``uint64`` bitmask arrays, used when
+  numpy is importable (install the ``fast`` extra);
+* ``python`` — the reference implementation over plain ``int`` bitmasks
+  in lists, dependency-free, byte-identical output.
+
+Selection is automatic (numpy when available) and can be forced with
+the ``REPRO_VECTOR_BACKEND`` environment variable (``numpy`` or
+``python``) — the differential smoke runs the same golden on both.
+Forcing ``numpy`` in an environment without it is a configuration
+error, not a silent fallback.
+
+The numpy path additionally needs ``numpy.bitwise_count`` (numpy >= 2.0)
+for the exact integer lowest-set-bit extraction; older numpys fall back
+to the python backend rather than risk float round-tripping.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+try:  # optional dependency: the `fast` extra
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via REPRO_VECTOR_BACKEND
+    _numpy = None
+
+#: Environment variable forcing a backend (``numpy`` or ``python``).
+BACKEND_ENV = "REPRO_VECTOR_BACKEND"
+
+#: True when numpy is importable and new enough for the bitmask kernel.
+HAS_NUMPY = _numpy is not None and hasattr(_numpy, "bitwise_count")
+
+
+def numpy_module():
+    """The imported numpy module, or ``None`` without the ``fast`` extra."""
+    return _numpy if HAS_NUMPY else None
+
+
+def backend_name() -> str:
+    """The active backend: ``"numpy"`` or ``"python"``.
+
+    Honours :data:`BACKEND_ENV`; raises
+    :class:`~repro.errors.ConfigurationError` on an unknown value or
+    when ``numpy`` is forced but not importable.
+    """
+    forced = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if forced in ("", "auto"):
+        return "numpy" if HAS_NUMPY else "python"
+    if forced == "python":
+        return "python"
+    if forced == "numpy":
+        if not HAS_NUMPY:
+            raise ConfigurationError(
+                f"{BACKEND_ENV}=numpy but numpy (>= 2.0) is not available; "
+                "install the 'fast' extra: pip install 'repro[fast]'"
+            )
+        return "numpy"
+    raise ConfigurationError(
+        f"unknown {BACKEND_ENV} value {forced!r}; choose 'numpy', "
+        "'python' or 'auto'"
+    )

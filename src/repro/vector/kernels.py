@@ -1,0 +1,226 @@
+"""Batched transition tables: the value-free half of each algorithm.
+
+The observation that makes whole-batch execution possible: for the four
+supported algorithms (FloodSet, FloodSetWS, F_OptFloodSet[WS], A1) the
+*control flow* of a run — who sends in which round, who decides when,
+who halts, when the run goes quiescent — depends only on the failure
+scenario, never on the initial values.  Messages are always either a
+full broadcast or silence, decisions fire on reception *counts* and
+*sender identities* (the ``n - t`` fast path, forced ``(D, v)``
+adoption, A1's reports), and the value only selects *what* is decided.
+
+Each plan kernel here replays exactly one object algorithm's transition
+with values erased, reporting per round:
+
+* ``unions`` — the senders whose value set ``W`` the process unions in
+  (the batched ``W[:, j] |= W[:, i]`` ops of the array kernel);
+* ``decide`` — ``None`` or a decision *source*: ``("min", pid)`` for
+  ``min(W)`` after this round's unions, ``("adopt", src)`` for adopting
+  ``src``'s earlier decision (F_Opt's forced ``(D, v)``), ``("value",
+  src)`` for deciding ``src``'s initial value verbatim (A1).
+
+The kernels are validated against the object algorithms — the same
+transition tables :mod:`repro.runtime.registry` serves to the round
+executor and both emulations — by the byte-parity differential goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+#: Decision sources the value kernel understands.
+DECIDE_MIN = "min"
+DECIDE_ADOPT = "adopt"
+DECIDE_VALUE = "value"
+
+
+@dataclass
+class PlanState:
+    """Value-free per-process state shared by every plan kernel."""
+
+    rounds: int = 0
+    decided: bool = False
+    halt: set[int] = field(default_factory=set)
+
+
+class FloodPlanKernel:
+    """FloodSet (Figure 1) / FloodSetWS (Figure 2) with values erased.
+
+    ``kind = "set"``: decisions are ``min(W)`` reads, so the value
+    kernel tracks ``W`` bitmasks.
+    """
+
+    kind = "set"
+
+    def __init__(self, n: int, t: int, *, ws: bool) -> None:
+        self.n = n
+        self.t = t
+        self.ws = ws
+
+    def sends(self, pid: int, state: PlanState) -> bool:
+        return state.rounds <= self.t
+
+    def transition(
+        self,
+        pid: int,
+        state: PlanState,
+        recv: Sequence[int],
+        sender_decided: Sequence[bool],
+    ) -> tuple[tuple[int, ...], tuple[str, int] | None]:
+        state.rounds += 1
+        if self.ws:
+            unions = tuple(i for i in recv if i not in state.halt)
+            received = set(recv)
+            state.halt |= {q for q in range(self.n) if q not in received}
+        else:
+            unions = tuple(recv)
+        decide = None
+        if state.rounds == self.t + 1 and not state.decided:
+            state.decided = True
+            decide = (DECIDE_MIN, pid)
+        return unions, decide
+
+    def halted(self, pid: int, state: PlanState) -> bool:
+        return state.decided
+
+
+class FOptPlanKernel:
+    """F_OptFloodSet / F_OptFloodSetWS (Figure 3) with values erased.
+
+    The round-1 fast path fires on the *raw* reception count reaching
+    ``n - t``; forced ``(D, v)`` messages are recognised purely by the
+    sender having been decided at its send time, and adopting one skips
+    this round's plain unions — exactly the object transition's branch
+    chain.
+    """
+
+    kind = "set"
+
+    def __init__(self, n: int, t: int, *, ws: bool) -> None:
+        self.n = n
+        self.t = t
+        self.ws = ws
+
+    def sends(self, pid: int, state: PlanState) -> bool:
+        # Decided processes keep flooding their (D, v) notification.
+        return state.rounds <= self.t
+
+    def transition(
+        self,
+        pid: int,
+        state: PlanState,
+        recv: Sequence[int],
+        sender_decided: Sequence[bool],
+    ) -> tuple[tuple[int, ...], tuple[str, int] | None]:
+        state.rounds += 1
+        usable = [
+            i for i in recv if not self.ws or i not in state.halt
+        ]
+        forced = [i for i in usable if sender_decided[i]]
+        plain = tuple(i for i in usable if not sender_decided[i])
+        unions: tuple[int, ...] = ()
+        decide = None
+        if (
+            state.rounds == 1
+            and len(recv) == self.n - self.t
+            and not state.decided
+        ):
+            unions = plain
+            state.decided = True
+            decide = (DECIDE_MIN, pid)
+        elif forced and not state.decided:
+            state.decided = True
+            decide = (DECIDE_ADOPT, forced[0])
+        else:
+            unions = plain
+        if state.rounds == self.t + 1 and not state.decided:
+            state.decided = True
+            decide = (DECIDE_MIN, pid)
+        if self.ws:
+            received = set(recv)
+            state.halt |= {q for q in range(self.n) if q not in received}
+        return unions, decide
+
+    def halted(self, pid: int, state: PlanState) -> bool:
+        if not state.decided:
+            return False
+        return state.rounds >= 2 or state.rounds > self.t
+
+
+class A1PlanKernel:
+    """A1 (Figure 4) with values erased.
+
+    ``kind = "pick"``: every decision is some process's initial value
+    verbatim — ``v1`` through p1's broadcast or a round-2 report (whose
+    working value is necessarily ``v1``), else ``v2`` — so the value
+    kernel needs no ``W`` arrays at all.
+
+    The ``t = 1`` / ``n >= 2`` configuration guards live in the object
+    algorithm's ``initial_state``; the planner refuses unsupported
+    configurations so the object engine raises its exact errors.
+    """
+
+    kind = "pick"
+
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+
+    def sends(self, pid: int, state: PlanState) -> bool:
+        if state.rounds == 0:
+            return pid == 0
+        if state.rounds == 1:
+            return state.decided or pid == 1
+        return False
+
+    def transition(
+        self,
+        pid: int,
+        state: PlanState,
+        recv: Sequence[int],
+        sender_decided: Sequence[bool],
+    ) -> tuple[tuple[int, ...], tuple[str, int] | None]:
+        state.rounds += 1
+        decide = None
+        if state.rounds == 1:
+            if 0 in recv:
+                state.decided = True
+                decide = (DECIDE_VALUE, 0)
+        elif state.rounds == 2 and not state.decided:
+            # A report's working value is v1: its sender decided in
+            # round 1, which only happens by receiving p1's broadcast.
+            if any(sender_decided[i] for i in recv):
+                state.decided = True
+                decide = (DECIDE_VALUE, 0)
+            elif 1 in recv:
+                state.decided = True
+                decide = (DECIDE_VALUE, 1)
+        return (), decide
+
+    def halted(self, pid: int, state: PlanState) -> bool:
+        # Round-1 deciders still owe their round-2 report.
+        return state.rounds >= 2
+
+
+#: Algorithm registry key -> plan-kernel factory ``(n, t) -> kernel``.
+#: The vectorizable subset of :data:`repro.runtime.registry.
+#: ALGORITHM_FACTORIES`; everything else transparently falls back to
+#: the object engine.
+PLAN_KERNELS: dict[str, Callable[[int, int], object]] = {
+    "floodset": lambda n, t: FloodPlanKernel(n, t, ws=False),
+    "floodset-ws": lambda n, t: FloodPlanKernel(n, t, ws=True),
+    "f-opt": lambda n, t: FOptPlanKernel(n, t, ws=False),
+    "f-opt-ws": lambda n, t: FOptPlanKernel(n, t, ws=True),
+    "a1": lambda n, t: A1PlanKernel(n, t),
+}
+
+
+def plan_kernel_for(algorithm: str, n: int, t: int):
+    """A fresh plan kernel, or ``None`` for unvectorized algorithms."""
+    factory = PLAN_KERNELS.get(algorithm)
+    if factory is None:
+        return None
+    if algorithm == "a1" and (t != 1 or n < 2):
+        return None  # let the object engine raise its exact errors
+    return factory(n, t)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 
 import pytest
 
@@ -381,6 +382,26 @@ class TestStatsHelpers:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+    def test_percentile_matches_numpy_bit_for_bit(self):
+        """The linear interpolation is numpy.percentile's, exactly.
+
+        The two-branch lerp in :func:`repro.stats.percentile` exists so
+        summary statistics agree to the last bit with numpy-based
+        tooling; this pins the equality over random sizes, spreads and
+        ranks (skipped without the ``fast`` extra installed).
+        """
+        np = pytest.importorskip("numpy")
+        rng = random.Random(20260808)
+        for _ in range(500):
+            data = [
+                rng.uniform(-1e6, 1e6)
+                for _ in range(rng.randint(1, 40))
+            ]
+            p = rng.choice([0.0, 50.0, 100.0, rng.uniform(0.0, 100.0)])
+            ours = percentile(data, p)
+            theirs = float(np.percentile(data, p))
+            assert ours == theirs, (data, p, ours, theirs)
 
 
 class _ExplodingObserver:

@@ -1,0 +1,271 @@
+"""The columnar vector engine (repro.vector) and its byte-parity contract.
+
+The engine's one promise is differential: every ``engine="vector"``
+cell must produce an event log, metrics state and decision map
+*byte-identical* to the object round executor's — whether the cell runs
+through the batched kernel or falls back per-cell — on both array
+backends.  These tests pin that promise over every registered sweep
+space, over the ``execute_batch`` seam, over the sweep's parallel and
+cached paths, and over a small fuzz campaign whose replay oracle
+re-executes every vector case on the object engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import VECTOR_FUZZ_ENGINES, run_campaign
+from repro.fuzz.campaign import resolve_engines
+from repro.runtime import (
+    ExecutionRequest,
+    execute_batch,
+    execute_request,
+    has_vector_kernel,
+    run_space,
+)
+from repro.runtime.space import space_by_name, vectorized_space
+from repro.vector import (
+    BACKEND_ENV,
+    HAS_NUMPY,
+    backend_name,
+    cell_domain,
+    plan_for_request,
+)
+from repro.workloads import crash_mid_broadcast, failure_free
+
+#: Both backends when the ``fast`` extra is installed, otherwise just
+#: the dependency-free reference implementation.
+BACKENDS = ("python", "numpy") if HAS_NUMPY else ("python",)
+
+#: Every registered space whose round cells the vector engine can take.
+ROUND_SPACES = ("oracle-sweep", "e10-lambda", "random-rs", "random-rws")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, request.param)
+    assert backend_name() == request.param
+    return request.param
+
+
+def _vector_request(name="cell", **overrides):
+    defaults = dict(
+        name=name,
+        engine="vector",
+        algorithm="floodset-ws",
+        values=(2, 0, 1),
+        t=1,
+        model="RWS",
+        scenario=failure_free(3),
+        max_rounds=4,
+    )
+    defaults.update(overrides)
+    return ExecutionRequest(**defaults)
+
+
+def _object_twin(request: ExecutionRequest) -> ExecutionRequest:
+    return replace(request, engine="rounds")
+
+
+def _assert_twin_parity(vector_result, object_result):
+    """Byte parity on everything except the request key (the engine
+    name is part of the request, so the keys differ by design)."""
+    assert vector_result.decisions == object_result.decisions
+    assert vector_result.latency == object_result.latency
+    assert vector_result.num_rounds == object_result.num_rounds
+    assert [event.to_json() for event in vector_result.events] == [
+        event.to_json() for event in object_result.events
+    ]
+    assert vector_result.metrics == object_result.metrics
+    assert vector_result.request_key != object_result.request_key
+
+
+class TestRegisteredSpaceGoldens:
+    """Every registered round space, vector vs object, checked."""
+
+    @pytest.mark.parametrize("name", ROUND_SPACES)
+    def test_merged_traces_byte_identical(self, name):
+        base = run_space(space_by_name(name), check=True)
+        vec = run_space(vectorized_space(space_by_name(name)), check=True)
+        assert list(base.merged_jsonl_lines()) == list(
+            vec.merged_jsonl_lines()
+        )
+        assert base.metrics.state() == vec.metrics.state()
+        assert [r.decisions for r in base.results] == [
+            r.decisions for r in vec.results
+        ]
+        assert [c.ok for c in base.checks] == [c.ok for c in vec.checks]
+
+    def test_backends_agree(self, backend):
+        base = run_space(space_by_name("e10-lambda"))
+        vec = run_space(vectorized_space(space_by_name("e10-lambda")))
+        assert list(base.merged_jsonl_lines()) == list(
+            vec.merged_jsonl_lines()
+        ), f"backend {backend} diverged from the object engine"
+
+
+class TestBatchSeam:
+    def test_execute_batch_matches_per_cell_execution(self, backend):
+        cells = [
+            _vector_request(f"batch-{i:02d}", values=values)
+            for i, values in enumerate(
+                [(0, 0, 0), (0, 1, 2), (2, 2, 1), (1, 0, 1)]
+            )
+        ]
+        batched = execute_batch(cells)
+        singles = [execute_request(cell) for cell in cells]
+        assert [r.to_dict() for r in batched] == [
+            r.to_dict() for r in singles
+        ]
+
+    def test_batch_preserves_input_order_across_engines(self):
+        mixed = [
+            _vector_request("v-0"),
+            _object_twin(_vector_request("r-0")),
+            _vector_request(
+                "v-1",
+                algorithm="a1",
+                model="RS",
+                scenario=crash_mid_broadcast(3),
+            ),
+            _vector_request("v-2", values=(1, 1, 0)),
+        ]
+        results = execute_batch(mixed)
+        assert [r.name for r in results] == [r.name for r in mixed]
+        for request, result in zip(mixed, results):
+            single = execute_request(request)
+            assert result.to_dict() == single.to_dict()
+
+    @pytest.mark.parametrize(
+        "algorithm,model",
+        [
+            ("floodset", "RS"),
+            ("floodset-ws", "RWS"),
+            ("f-opt", "RS"),
+            ("f-opt-ws", "RWS"),
+            ("a1", "RS"),
+        ],
+    )
+    def test_kernel_algorithms_match_object_twin(
+        self, backend, algorithm, model
+    ):
+        for scenario in (failure_free(3), crash_mid_broadcast(3)):
+            request = _vector_request(
+                f"twin-{algorithm}",
+                algorithm=algorithm,
+                model=model,
+                scenario=scenario,
+            )
+            _assert_twin_parity(
+                execute_request(request),
+                execute_request(_object_twin(request)),
+            )
+
+
+class TestFallback:
+    """Cells the kernel cannot take run the object engine, exactly."""
+
+    def test_unregistered_algorithm_falls_back(self, backend):
+        assert not has_vector_kernel("c-opt")
+        request = _vector_request("fb-copt", algorithm="c-opt", model="RS")
+        assert plan_for_request(request) is None
+        _assert_twin_parity(
+            execute_request(request),
+            execute_request(_object_twin(request)),
+        )
+
+    def test_cross_type_values_fall_back(self, backend):
+        # 0 == False, so min() parity depends on set-construction
+        # order; the kernel refuses the domain and the object engine
+        # runs the cell instead.
+        values = (0, False, 1)
+        assert cell_domain(values) is None
+        request = _vector_request("fb-values", values=values)
+        _assert_twin_parity(
+            execute_request(request),
+            execute_request(_object_twin(request)),
+        )
+
+    def test_cell_domain_guards(self):
+        assert cell_domain((2, 0, 1, 1)) == [0, 1, 2]
+        assert cell_domain(("b", "a")) == ["a", "b"]
+        assert cell_domain((0, None, 1)) is None
+        assert cell_domain((0.0, float("nan"))) is None
+        assert cell_domain((1, "a")) is None  # unsortable
+        assert cell_domain(([1], [2])) is None  # unhashable
+
+    def test_fallback_reproduces_configuration_errors(self):
+        kwargs = dict(
+            algorithm="a1",
+            model="RS",
+            t=2,
+            scenario=failure_free(4),
+            values=(0, 1, 1, 0),
+        )
+        with pytest.raises(ConfigurationError) as via_object:
+            execute_request(
+                _object_twin(_vector_request("err-rounds", **kwargs))
+            )
+        with pytest.raises(ConfigurationError) as via_vector:
+            execute_request(_vector_request("err-vector", **kwargs))
+        assert str(via_vector.value) == str(via_object.value)
+
+    def test_kernel_registry_honours_envelopes(self):
+        assert has_vector_kernel("floodset")
+        assert has_vector_kernel("a1", n=3, t=1)
+        assert not has_vector_kernel("a1", n=3, t=2)
+        assert not has_vector_kernel("c-opt-ws")
+
+
+class TestSweepPaths:
+    def test_parallel_and_cached_sweeps_stay_byte_identical(
+        self, tmp_path
+    ):
+        space = vectorized_space(space_by_name("e10-lambda"))
+        golden = run_space(space_by_name("e10-lambda"))
+        cold = run_space(space, jobs=2, cache=str(tmp_path))
+        warm = run_space(space, jobs=2, cache=str(tmp_path))
+        assert cold.executed == cold.total and cold.cached == 0
+        assert warm.executed == 0 and warm.cached == warm.total
+        for result in (cold, warm):
+            assert list(result.merged_jsonl_lines()) == list(
+                golden.merged_jsonl_lines()
+            )
+
+    def test_vector_cells_share_profile_telemetry(self):
+        space = vectorized_space(space_by_name("e10-lambda"))
+        swept = run_space(space, jobs=1)
+        profiles = [r.extra.get("profile") for r in swept.results]
+        assert all(p is not None for p in profiles)
+        assert all(p["duration_s"] >= 0.0 for p in profiles)
+
+
+class TestVectorFuzz:
+    def test_engine_alias_resolves_to_both_streams(self):
+        assert resolve_engines(("vector",)) == VECTOR_FUZZ_ENGINES
+        assert set(VECTOR_FUZZ_ENGINES) == {"vector-rs", "vector-rws"}
+
+    def test_campaign_is_clean(self):
+        report = run_campaign(
+            budget=24, seed=3, engines=("vector",), shrink_failures=False
+        )
+        assert report.ok, report.describe()
+        assert report.executed == 24
+
+
+class TestBackendSelection:
+    def test_forced_python_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert backend_name() == "python"
+
+    def test_auto_matches_availability(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert backend_name() == ("numpy" if HAS_NUMPY else "python")
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cuda")
+        with pytest.raises(ConfigurationError):
+            backend_name()
