@@ -12,6 +12,12 @@ per-span ``count``, ``mean_s``, ``p50_s`` and ``p95_s``.  Older
 metrics files without ``p50_s`` are accepted (the field is reported as
 ``null``), so the report can be regenerated from any run's output.
 
+Also accepts a campaign *run directory* (or its ``metrics.jsonl``):
+the per-cell and progress audit records interleaved there are skipped
+rather than fatal, and a run that has not finalized yet (no
+``summary.json``) yields a partial report flagged ``in_progress`` —
+an overnight campaign must be reportable while it is still running.
+
 The report also carries a cross-PR ``trajectory`` section: every
 committed ``BENCH_*.json`` snapshot in the repo root is merged, and
 each span seen by at least two snapshots gets its ``mean_s`` series in
@@ -40,8 +46,16 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
 FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
 
 
-def load_spans(path: Path) -> dict[str, dict]:
+def load_spans(path: Path) -> tuple[dict[str, dict], int]:
+    """``(spans, skipped)`` of a metrics JSONL file.
+
+    Records without a span name — a run directory's per-cell audit
+    lines and progress heartbeats — are counted and skipped, never
+    fatal: the same ``metrics.jsonl`` file name serves both the bench
+    suite and campaign run directories.
+    """
     spans: dict[str, dict] = {}
+    skipped = 0
     with open(path, encoding="utf-8") as fp:
         for lineno, line in enumerate(fp, start=1):
             line = line.strip()
@@ -53,9 +67,10 @@ def load_spans(path: Path) -> dict[str, dict]:
                 raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}")
             name = record.get("span")
             if not isinstance(name, str):
-                raise ValueError(f"{path}:{lineno}: record has no span name")
+                skipped += 1
+                continue
             spans[name] = {field: record.get(field) for field in FIELDS}
-    return spans
+    return spans, skipped
 
 
 def build_report(spans: dict[str, dict], source: str) -> dict:
@@ -187,15 +202,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     metrics_path = Path(args.metrics)
+    run_dir: Path | None = None
+    if metrics_path.is_dir():
+        run_dir = metrics_path
+        metrics_path = metrics_path / "metrics.jsonl"
+    elif (
+        metrics_path.name == "metrics.jsonl"
+        and (metrics_path.parent / "manifest.json").exists()
+    ):
+        run_dir = metrics_path.parent
     try:
-        spans = load_spans(metrics_path)
+        spans, skipped = load_spans(metrics_path)
     except OSError as exc:
-        print(f"cannot read {metrics_path}: {exc}", file=sys.stderr)
-        return 2
+        if run_dir is not None and not metrics_path.exists():
+            # A run dir before its first completed cell: metrics.jsonl
+            # is appended lazily, so "no file yet" is just the emptiest
+            # form of in-progress, not an error.
+            spans, skipped = {}, 0
+        else:
+            print(f"cannot read {metrics_path}: {exc}", file=sys.stderr)
+            return 2
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     report = build_report(spans, metrics_path.name)
+    if skipped:
+        report["skipped_records"] = skipped
+    if run_dir is not None:
+        in_progress = not (run_dir / "summary.json").exists()
+        report["in_progress"] = in_progress
+        if in_progress:
+            print(
+                f"note: {run_dir} has no summary.json yet — partial "
+                "report (campaign in progress or interrupted)",
+                file=sys.stderr,
+            )
     output = Path(args.output)
     if not args.no_trajectory:
         snapshots = load_snapshots(REPO_ROOT, skip=output)

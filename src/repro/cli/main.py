@@ -11,6 +11,9 @@ module under :mod:`repro.cli` and registers itself via ``register``:
   (deterministic re-execution), ``diff`` (divergence / Theorem 3.1).
 * :mod:`repro.cli.sweep` — ``sweep SPACE`` (parallel, cached, checked
   scenario-space execution through the unified runtime).
+* :mod:`repro.cli.serve` — ``serve`` / ``work`` (the sharded campaign
+  fabric: one coordinator leasing shards to workers over HTTP, merged
+  into the same run directories ``sweep --run-dir`` writes).
 * :mod:`repro.cli.fuzz` — ``fuzz`` (differential fuzzing across the
   engines, with counterexample shrinking).
 * :mod:`repro.cli.live` — ``live`` (a real asyncio cluster with
@@ -33,6 +36,7 @@ from repro.cli import experiments as _experiments
 from repro.cli import fuzz as _fuzz
 from repro.cli import live as _live
 from repro.cli import report as _report
+from repro.cli import serve as _serve
 from repro.cli import show as _show
 from repro.cli import sweep as _sweep
 from repro.cli import trace as _trace
@@ -63,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         _trace,
         _check,
         _sweep,
+        _serve,
         _fuzz,
         _live,
         _report,

@@ -211,6 +211,28 @@ def summarize_sweep(
     if cache is not None:
         summary["cache"] = dict(cache)
 
+    # Vector-engine kernel/fallback split: which cells the columnar
+    # kernel declined, and why (``extra["vector_fallback"]`` telemetry).
+    vector_planned = sum(
+        1 for request in requests if request.engine == "vector"
+    )
+    if vector_planned:
+        reasons: dict[str, int] = {}
+        fallback_cells: list[str] = []
+        for request, result in zip(requests, results):
+            reason = (getattr(result, "extra", None) or {}).get(
+                "vector_fallback"
+            )
+            if reason is not None:
+                reasons[reason] = reasons.get(reason, 0) + 1
+                fallback_cells.append(request.name)
+        summary["vector"] = {
+            "cells": vector_planned,
+            "kernel": vector_planned - len(fallback_cells),
+            "fallbacks": dict(sorted(reasons.items())),
+            "fallback_cells": fallback_cells,
+        }
+
     checks = getattr(sweep_result, "checks", None)
     if checks is not None:
         failed = [check.name for check in checks if not check.ok]
@@ -588,6 +610,20 @@ def render_report(
             f"{cache.get('corrupt_evictions', 0)} corrupt evictions"
         )
 
+    vector = summary.get("vector")
+    if vector is not None:
+        reasons = vector.get("fallbacks") or {}
+        reason_text = (
+            " (" + ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items())) + ")"
+            if reasons
+            else ""
+        )
+        lines.append(
+            f"vector: {vector.get('kernel')}/{vector.get('cells')} cells on "
+            f"the kernel, {len(vector.get('fallback_cells') or [])} object "
+            f"fallback(s){reason_text}"
+        )
+
     oracle = summary.get("oracle")
     if oracle is not None:
         failed = oracle.get("failed", 0)
@@ -681,13 +717,21 @@ def render_report(
 
 
 def report_json(run: RunDir) -> dict[str, Any]:
-    """The machine form of the dashboard: manifest + summary + progress."""
+    """The machine form of the dashboard: manifest + summary + progress.
+
+    A run whose campaign has not finalized yet (no ``summary.json``) is
+    reported as a *partial* document with ``in_progress: true`` — the
+    consumer decides whether partial is acceptable, instead of the
+    report crashing on a perfectly healthy mid-campaign run.
+    """
     from repro.obs.progress import latest_progress
 
+    summary = run.summary()
     return {
         "manifest": run.manifest,
-        "summary": run.summary(),
+        "summary": summary,
         "progress": latest_progress(run.progress_records()),
+        "in_progress": summary is None,
     }
 
 

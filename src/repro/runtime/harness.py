@@ -195,6 +195,10 @@ class VectorHarness:
         return dict(run.decisions), run.latency(), run.num_rounds
 
     def extras(self, run: Any) -> dict[str, Any]:
+        from repro.vector.engine import FallbackRun
+
+        if isinstance(run, FallbackRun):
+            return {"vector_fallback": run.reason}
         return {}
 
 

@@ -1,0 +1,41 @@
+"""The sharded campaign fabric: ``repro serve`` / ``repro work``.
+
+A stdlib-only coordinator/worker service that executes any registered
+scenario space (or fuzz stream) across processes and hosts while
+keeping every artifact — result store, merged trace, summary — exactly
+what a single-process ``repro sweep`` would have produced.  See
+:mod:`repro.serve.coordinator` for the lease/merge semantics,
+:mod:`repro.serve.api` for the wire protocol, and
+:mod:`repro.serve.worker` for the execution loop.
+"""
+
+from repro.serve.api import (
+    CoordinatorServer,
+    CoordinatorUnreachable,
+    ServeAPIError,
+    ServeClient,
+)
+from repro.serve.coordinator import Coordinator, SubmitError
+from repro.serve.shards import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    ShardState,
+    plan_shards,
+)
+from repro.serve.worker import default_worker_id, execute_shard, run_worker
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorServer",
+    "CoordinatorUnreachable",
+    "DEFAULT_SHARD_SIZE",
+    "ServeAPIError",
+    "ServeClient",
+    "ShardPlan",
+    "ShardState",
+    "SubmitError",
+    "default_worker_id",
+    "execute_shard",
+    "plan_shards",
+    "run_worker",
+]

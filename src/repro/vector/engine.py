@@ -78,6 +78,46 @@ class VectorRun:
         return self.latency_value
 
 
+@dataclass
+class FallbackRun:
+    """An object-engine run where the kernel declined the cell, tagged
+    with why.  Exposes the ``RoundRun`` summary surface, so harnesses
+    treat it like any run; the reason becomes the per-cell
+    ``extra["vector_fallback"]`` telemetry campaign summaries report."""
+
+    run: Any
+    reason: str
+
+    @property
+    def decisions(self) -> dict[int, tuple[int, Any]]:
+        return self.run.decisions
+
+    def latency(self) -> int | None:
+        return self.run.latency()
+
+    @property
+    def num_rounds(self) -> int:
+        return self.run.num_rounds
+
+
+#: The fallback reasons per-cell telemetry may carry.
+FALLBACK_UNSUPPORTED = "unsupported-algorithm"
+FALLBACK_PARAMS = "unsupported-params"
+FALLBACK_PLAN = "plan-refused"
+FALLBACK_DOMAIN = "value-domain"
+
+
+def _plan_fallback_reason(request: ExecutionRequest) -> str:
+    """Why :func:`plan_for_request` returned ``None`` for this cell."""
+    from repro.runtime.registry import has_vector_kernel
+
+    if not has_vector_kernel(request.algorithm):
+        return FALLBACK_UNSUPPORTED
+    if set(request.param_dict()) - _PLAN_PARAMS:
+        return FALLBACK_PARAMS
+    return FALLBACK_PLAN
+
+
 # ---------------------------------------------------------------------------
 # Plan resolution and per-cell admissibility
 # ---------------------------------------------------------------------------
@@ -410,8 +450,15 @@ def _execute_object(
     )
 
 
-def _object_result(request: ExecutionRequest) -> ExecutionResult:
-    """A fallback cell under the standard instrumentation."""
+def _object_result(
+    request: ExecutionRequest, reason: str
+) -> ExecutionResult:
+    """A fallback cell under the standard instrumentation.
+
+    ``reason`` lands in ``extra["vector_fallback"]`` — per-cell
+    telemetry only, deliberately outside the determinism contract
+    (events and metrics stay byte-identical to the object engine's).
+    """
     log = EventLog(clock=logical_clock())
     registry = MetricsRegistry()
     run = _execute_object(
@@ -425,7 +472,7 @@ def _object_result(request: ExecutionRequest) -> ExecutionResult:
         decisions=dict(run.decisions),
         latency=run.latency(),
         num_rounds=run.num_rounds,
-        extra={},
+        extra={"vector_fallback": reason},
     )
 
 
@@ -439,15 +486,22 @@ def execute_vector_request(
     """
     plan = plan_for_request(request)
     if plan is None:
-        return _execute_object(request, observer)
+        return FallbackRun(
+            _execute_object(request, observer),
+            _plan_fallback_reason(request),
+        )
     if plan.kind == "pick":
         if not _pick_values_ok(request.values):
-            return _execute_object(request, observer)
+            return FallbackRun(
+                _execute_object(request, observer), FALLBACK_DOMAIN
+            )
         domains = None
     else:
         domain = cell_domain(request.values)
         if domain is None:
-            return _execute_object(request, observer)
+            return FallbackRun(
+                _execute_object(request, observer), FALLBACK_DOMAIN
+            )
         domains = [domain]
     decide_values = run_value_kernel(plan, [request.values], domains)[0]
     if observer is not None:
@@ -477,17 +531,23 @@ def execute_vector_batch(
         for index, request in enumerate(requests):
             plan = plan_for_request(request)
             if plan is None:
-                results[index] = _object_result(request)
+                results[index] = _object_result(
+                    request, _plan_fallback_reason(request)
+                )
                 continue
             if plan.kind == "pick":
                 if not _pick_values_ok(request.values):
-                    results[index] = _object_result(request)
+                    results[index] = _object_result(
+                        request, FALLBACK_DOMAIN
+                    )
                     continue
                 domains[index] = None
             else:
                 domain = cell_domain(request.values)
                 if domain is None:
-                    results[index] = _object_result(request)
+                    results[index] = _object_result(
+                        request, FALLBACK_DOMAIN
+                    )
                     continue
                 domains[index] = domain
             _, members = groups.setdefault(id(plan), (plan, []))

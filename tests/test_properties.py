@@ -236,3 +236,74 @@ def test_latency_never_below_one(seed, n):
     )
     latency = run.latency()
     assert latency is None or latency >= 1
+
+
+# -- batch cache-key invariants -------------------------------------------------
+#
+# The campaign fabric (repro serve) shards work on these keys and dedupes
+# merged submissions by them, so two invariants are load-bearing: the
+# fragment-spliced batch encoder must equal the per-request reference
+# encoder exactly, and keys must be injective over canonical content.
+
+
+def _request_strategy():
+    from repro.runtime import ExecutionRequest
+
+    value = st.one_of(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.booleans(),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=8),
+    )
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=5))
+        scenario = random_scenario(
+            n,
+            1,
+            max_round=2,
+            allow_pending=True,
+            rng=random.Random(draw(st.integers(0, 10**6))),
+        )
+        return ExecutionRequest(
+            name=draw(st.text(min_size=1, max_size=12)),
+            engine=draw(st.sampled_from(["rounds", "vector"])),
+            algorithm=draw(st.sampled_from(["floodset", "floodset-ws"])),
+            values=tuple(draw(value) for _ in range(n)),
+            t=1,
+            model=draw(st.sampled_from(["RS", "RWS"])),
+            scenario=scenario,
+            max_rounds=draw(st.integers(min_value=1, max_value=6)),
+            seed=draw(st.one_of(st.none(), st.integers(0, 2**62))),
+            expect_disagreement=draw(st.booleans()),
+            check_consensus=draw(st.booleans()),
+        )
+
+    return build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=st.lists(_request_strategy(), min_size=1, max_size=8))
+def test_batch_cache_keys_equal_reference_encoder(requests):
+    """The fragment-spliced batch encoder is exactly the per-cell
+    ``cache_key()`` reference, for arbitrary value domains and knobs."""
+    from repro.runtime.request import batch_cache_keys
+
+    assert batch_cache_keys(requests) == [
+        request.cache_key() for request in requests
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=st.lists(_request_strategy(), min_size=2, max_size=8))
+def test_batch_cache_keys_injective_over_canonical_content(requests):
+    """Equal keys imply equal canonical request content (and vice
+    versa) — the dedupe-by-key merge in the serve coordinator is only
+    sound if a key collision cannot span distinct cells."""
+    from repro.runtime.request import batch_cache_keys
+
+    keys = batch_cache_keys(requests)
+    for i, a in enumerate(requests):
+        for j, b in enumerate(requests):
+            assert (keys[i] == keys[j]) == (a.to_dict() == b.to_dict())

@@ -13,6 +13,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.failures import FailurePattern
+from repro.runtime.request import batch_cache_keys
 from repro.runtime import (
     ExecutionRequest,
     ExecutionResult,
@@ -282,3 +283,166 @@ class TestParallelMap:
 
 def _square(x):
     return x * x
+
+
+# ---------------------------------------------------------------------------
+# batch_cache_keys: seeded-fallback property tests (Hypothesis twin in
+# tests/test_properties.py).  The campaign fabric shards on these keys,
+# so "spliced == reference" and injectivity are load-bearing.
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCacheKeys:
+    def _assert_batch_matches_reference(self, requests):
+        keys = batch_cache_keys(requests)
+        assert keys == [request.cache_key() for request in requests]
+        # Injective across distinct cells: equal keys imply equal
+        # canonical request content.
+        by_key = {}
+        for request, key in zip(requests, keys):
+            if key in by_key:
+                assert by_key[key].to_dict() == request.to_dict()
+            by_key[key] = request
+
+    def test_seeded_stream_across_every_engine(self):
+        from repro.fuzz.strategies import (
+            FUZZ_ENGINES,
+            VECTOR_FUZZ_ENGINES,
+            generate_case,
+        )
+
+        engines = FUZZ_ENGINES + VECTOR_FUZZ_ENGINES
+        for seed in (1, 7, 99):
+            requests = [
+                generate_case(
+                    index, seed=seed, engine=engines[index % len(engines)]
+                )
+                for index in range(24)
+            ]
+            self._assert_batch_matches_reference(requests)
+            assert len(set(batch_cache_keys(requests))) == len(requests)
+
+    def test_awkward_per_cell_fields_still_splice_exactly(self):
+        # The spliced fragments cover name/values/seed/flags — exercise
+        # the encoder edge cases in exactly those fields: non-int value
+        # types (bool twins of ints, floats, strings with JSON
+        # metacharacters), unicode names, huge seeds.
+        base = _round_request()
+        requests = [
+            _round_request(name='quote"s\\and\nnewlines'),
+            _round_request(name="unicode-Λ-λ-名前"),
+            _round_request(values=(0, False, 1)),
+            _round_request(values=(True, 1, 0)),
+            _round_request(values=(0.5, 1, "x")),
+            _round_request(values=("a", "b", "a")),
+            _round_request(expect_disagreement=True, check_consensus=False),
+            base,
+        ]
+        emulation = _emulation_request()
+        requests.append(emulation)
+        import dataclasses
+
+        requests.append(
+            dataclasses.replace(emulation, seed=2**62, name="big-seed")
+        )
+        self._assert_batch_matches_reference(requests)
+
+    def test_shared_scenario_instances_share_fragments(self):
+        scenario = failure_free(3)
+        requests = [
+            _round_request(name=f"cell-{index}", scenario=scenario)
+            for index in range(50)
+        ]
+        keys = batch_cache_keys(requests)
+        assert keys == [request.cache_key() for request in requests]
+        assert len(set(keys)) == len(requests)
+
+    def test_active_injection_falls_back_to_reference(self, monkeypatch):
+        from repro.inject import INJECT_ENV, KNOWN_INJECTIONS
+
+        name = next(iter(KNOWN_INJECTIONS))
+        requests = [_round_request(name=f"cell-{i}") for i in range(4)]
+        clean = batch_cache_keys(requests)
+        monkeypatch.setenv(INJECT_ENV, name)
+        injected = batch_cache_keys(requests)
+        assert injected == [request.cache_key() for request in requests]
+        # The injected marker must change every key (separate cache).
+        assert set(clean).isdisjoint(injected)
+
+
+# ---------------------------------------------------------------------------
+# ResultCache concurrency: the shared store behind the serve fabric
+# ---------------------------------------------------------------------------
+
+
+def _hammer_same_key(arg):
+    directory, tag = arg
+    request = _round_request()
+    result = ExecutionResult(
+        name=request.name,
+        request_key=request.cache_key(),
+        events=[],
+        metrics={},
+        decisions={0: (1, 1)},
+        latency=1,
+        num_rounds=1,
+        # Big enough that a torn (non-atomic) write would truncate
+        # mid-payload and fail to parse on read-back.
+        extra={"writer": tag, "pad": "x" * 200_000},
+    )
+    ResultCache(str(directory)).put(request, result)
+    return tag
+
+
+class TestResultCacheConcurrency:
+    def test_concurrent_same_key_writes_never_tear(self, tmp_path):
+        directory = tmp_path / "cache"
+        parallel_map(
+            _hammer_same_key,
+            [(directory, tag) for tag in range(16)],
+            jobs=8,
+        )
+        cache = ResultCache(str(directory))
+        assert len(cache) == 1
+        # No stray temp files: every mkstemp either renamed or unlinked.
+        assert not list(directory.glob(".tmp-*"))
+        entry = cache.get(_round_request())
+        assert entry is not None, "the winning write must parse whole"
+        assert entry.extra["writer"] in range(16)
+        assert len(entry.extra["pad"]) == 200_000
+        assert cache.stats.corrupt_evictions == 0
+        assert cache.stats.hits == 1
+
+    def test_torn_entry_eviction_surfaces_in_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        request = _round_request()
+        result = execute_request(request)
+        cache.put(request, result)
+        path = cache._path(request.cache_key())
+        # Simulate a writer killed mid-write: truncate the entry.
+        path.write_text(
+            path.read_text(encoding="utf-8")[:50], encoding="utf-8"
+        )
+        assert cache.get(request) is None
+        assert cache.stats.corrupt_evictions == 1
+        assert not path.exists(), "the corpse is evicted, not kept"
+        # The slot re-fills and the tally sticks.
+        cache.put(request, result)
+        assert cache.get(request) is not None
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 2,
+            "corrupt_evictions": 1,
+        }
+
+    def test_eviction_counts_flow_into_sweep_summary(self, tmp_path):
+        space = ScenarioSpace.explicit("tiny", [_round_request()])
+        cache_dir = str(tmp_path / "cache")
+        first = SweepRunner(cache=cache_dir).run(space)
+        assert first.cache_stats["corrupt_evictions"] == 0
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text("{torn", encoding="utf-8")
+        second = SweepRunner(cache=cache_dir).run(space)
+        assert second.cache_stats["corrupt_evictions"] == 1
+        assert second.executed == 1  # served as a miss and re-executed

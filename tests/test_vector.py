@@ -269,3 +269,123 @@ class TestBackendSelection:
         monkeypatch.setenv(BACKEND_ENV, "cuda")
         with pytest.raises(ConfigurationError):
             backend_name()
+
+
+class TestFallbackTelemetry:
+    """Fallbacks are parity-safe but must be *visible*: each object-run
+    cell carries ``extra["vector_fallback"]`` and the sweep summary
+    aggregates the reasons, so a silently-degraded vector campaign
+    shows up in `repro report` instead of just running slow."""
+
+    def test_single_request_paths_tag_the_reason(self, backend):
+        from repro.vector.engine import (
+            FALLBACK_DOMAIN,
+            FALLBACK_UNSUPPORTED,
+        )
+
+        unsupported = execute_request(
+            _vector_request("fb-algo", algorithm="c-opt", model="RS")
+        )
+        assert unsupported.extra["vector_fallback"] == FALLBACK_UNSUPPORTED
+        domain = execute_request(
+            _vector_request("fb-domain", values=(0, False, 1))
+        )
+        assert domain.extra["vector_fallback"] == FALLBACK_DOMAIN
+        kernel = execute_request(_vector_request("on-kernel"))
+        assert "vector_fallback" not in kernel.extra
+
+    def test_batch_path_tags_only_the_fallback_cells(self, backend):
+        from repro.vector.engine import (
+            FALLBACK_DOMAIN,
+            FALLBACK_UNSUPPORTED,
+        )
+
+        requests = [
+            _vector_request("b-kernel-0"),
+            _vector_request("b-algo", algorithm="c-opt", model="RS"),
+            _vector_request("b-kernel-1", values=(1, 1, 0)),
+            _vector_request("b-domain", values=(0, False, 1)),
+        ]
+        results = execute_batch(requests)
+        reasons = [r.extra.get("vector_fallback") for r in results]
+        assert reasons == [
+            None,
+            FALLBACK_UNSUPPORTED,
+            None,
+            FALLBACK_DOMAIN,
+        ]
+
+    def test_sweep_summary_aggregates_fallback_reasons(self, tmp_path):
+        from repro.obs.artifacts import RunDir, identity_for_requests
+        from repro.obs.report import render_report, summarize_sweep
+        from repro.runtime import ResultCache, ScenarioSpace, SweepRunner
+
+        requests = list(
+            vectorized_space(space_by_name("e10-lambda")).requests[:3]
+        ) + [
+            _vector_request("fb-algo", algorithm="c-opt", model="RS"),
+            _vector_request("fb-domain", values=(0, False, 1)),
+        ]
+        space = ScenarioSpace.explicit("vector-telemetry", requests)
+        run = RunDir.open(
+            tmp_path / "runs",
+            kind="sweep",
+            name=space.name,
+            identity=identity_for_requests(requests),
+            cells=[(r.name, r.cache_key()) for r in requests],
+            config={"space": space.name},
+        )
+
+        def on_cell(request, result):
+            run.record_cell(
+                name=request.name,
+                key=result.request_key,
+                cached=result.cached,
+                engine=request.engine,
+                algorithm=request.algorithm,
+                latency=result.latency,
+                num_rounds=result.num_rounds,
+                events=len(result.events),
+            )
+
+        sweep = SweepRunner(
+            cache=ResultCache(run.results_dir), on_cell=on_cell
+        ).run(space)
+        summary = summarize_sweep(run, sweep, completed_before=set())
+        run.finalize(summary)
+
+        assert summary["vector"] == {
+            "cells": 5,
+            "kernel": 3,
+            "fallbacks": {
+                "unsupported-algorithm": 1,
+                "value-domain": 1,
+            },
+            "fallback_cells": ["fb-algo", "fb-domain"],
+        }
+        rendered = render_report(run)
+        assert "3/5 cells on the kernel" in rendered
+        assert "2 object fallback(s)" in rendered
+
+    def test_all_kernel_sweep_reports_zero_fallbacks(self, tmp_path):
+        from repro.obs.artifacts import RunDir, identity_for_requests
+        from repro.obs.report import summarize_sweep
+        from repro.runtime import ScenarioSpace, SweepRunner
+
+        requests = list(
+            vectorized_space(space_by_name("e10-lambda")).requests[:4]
+        )
+        space = ScenarioSpace.explicit("vector-clean", requests)
+        run = RunDir.open(
+            tmp_path / "runs",
+            kind="sweep",
+            name=space.name,
+            identity=identity_for_requests(requests),
+            cells=[(r.name, r.cache_key()) for r in requests],
+            config={"space": space.name},
+        )
+        sweep = SweepRunner().run(space)
+        summary = summarize_sweep(run, sweep, completed_before=set())
+        assert summary["vector"]["kernel"] == 4
+        assert summary["vector"]["fallbacks"] == {}
+        assert summary["vector"]["fallback_cells"] == []
