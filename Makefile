@@ -1,4 +1,4 @@
-.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke causal-smoke vector-smoke serve-smoke clean
+.PHONY: install test test-fast coverage bench bench-report examples experiments report trace-smoke check-smoke sweep-smoke fuzz-smoke live-smoke report-smoke causal-smoke vector-smoke serve-smoke mc-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -178,6 +178,30 @@ serve-smoke:
 		--jsonl $(SERVE_SMOKE_DIR)/serve.jsonl
 	cmp $(SERVE_SMOKE_DIR)/solo.jsonl $(SERVE_SMOKE_DIR)/serve.jsonl
 	PYTHONPATH=src python scripts/check_summary.py $(SERVE_SMOKE_DIR)/runs
+
+MC_SMOKE_DIR ?= /tmp/repro_mc_smoke
+
+# The model checker's acceptance gauntlet: exhaustive agreement for A1
+# (the CLI must clamp --t 2 to the algorithm's t=1) with reduced and
+# unreduced frontiers agreeing, the machine-checked Λ(A1) = 1 verdict,
+# the n=4 t=2 FloodSet frontier, and a planted emulation bug the grid
+# checker must refute with a witness that replays (exit 0) under the
+# same injection.
+mc-smoke:
+	rm -rf $(MC_SMOKE_DIR) && mkdir -p $(MC_SMOKE_DIR)
+	PYTHONPATH=src python -m repro mc agreement --algorithm A1 --n 3 --t 2 | \
+		tee /dev/stderr | grep -q "HOLDS(exhaustive)"
+	PYTHONPATH=src python -m repro mc agreement --algorithm a1 --n 3 --t 1 \
+		--no-reduce | tee /dev/stderr | grep -q "HOLDS(exhaustive)"
+	PYTHONPATH=src python -m repro mc lambda --algorithm a1 --n 3 --t 1 | \
+		tee /dev/stderr | grep -q "lambda: 1"
+	PYTHONPATH=src python -m repro mc agreement --algorithm floodset --n 4 \
+		--t 2 --horizon 4 | tee /dev/stderr | grep -q "HOLDS(exhaustive)"
+	status=0; REPRO_INJECT_BUG=ss-drop-received PYTHONPATH=src \
+		python -m repro mc agreement --algorithm floodset --engine rs_on_ss \
+		--out $(MC_SMOKE_DIR) || status=$$?; test "$$status" -eq 1
+	REPRO_INJECT_BUG=ss-drop-received PYTHONPATH=src python -m repro replay \
+		--repro $(MC_SMOKE_DIR)/mc-witness-00.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -3,7 +3,7 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR8.json] [METRICS.jsonl]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_PR10.json] [METRICS.jsonl]
 
 Reads the per-span profiler breakdown the benchmark suite emits (one
 JSON object per span: count/total/mean/max/p95, newer runs also carry
@@ -40,7 +40,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_METRICS = REPO_ROOT / "benchmarks" / "metrics.jsonl"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR10.json"
 
 #: Per-span fields copied into the report (missing ones become null).
 FIELDS = ("count", "total_s", "mean_s", "p50_s", "p95_s", "max_s")
@@ -113,7 +113,66 @@ def build_report(spans: dict[str, dict], source: str) -> dict:
         speedups = vector_speedups(spans)
         if speedups:
             report["vector_speedup_vs_object"] = speedups
+    # The model checker's spans plus derived throughput: bench_mc.py
+    # records exploration timings per reduction mode alongside
+    # mc.bench.stats.<mode>.<counter> spans whose sample values are raw
+    # frontier counters, from which states/sec, prune ratios and the
+    # reduced-vs-unreduced cost ratio are computed here.
+    mc = {
+        name: spans[name]
+        for name in sorted(spans)
+        if name.startswith("mc.") and not name.startswith("mc.bench.stats.")
+    }
+    if mc:
+        report["mc_timings"] = {"spans": mc, **mc_derived(spans)}
     return report
+
+
+def _mc_counter(spans: dict[str, dict], mode: str, counter: str) -> float | None:
+    """A frontier counter smuggled through a stats span's mean sample."""
+    stats = spans.get(f"mc.bench.stats.{mode}.{counter}")
+    if stats is None:
+        return None
+    return stats.get("mean_s")
+
+
+def mc_derived(spans: dict[str, dict]) -> dict:
+    """States/sec, prune ratios and the reduction cost ratio."""
+    derived: dict[str, dict] = {}
+    rates: dict[str, float] = {}
+    prunes: dict[str, dict[str, float]] = {}
+    for mode in ("reduced", "unreduced", "n4t2"):
+        explore_span = spans.get(f"mc.bench.explore.{mode}")
+        visited = _mc_counter(spans, mode, "states_visited")
+        generated = _mc_counter(spans, mode, "states_generated")
+        revisits = _mc_counter(spans, mode, "revisit_pruned")
+        dominated = _mc_counter(spans, mode, "dominance_pruned")
+        choices = _mc_counter(spans, mode, "choices_explored")
+        if explore_span and explore_span.get("mean_s") and generated:
+            rates[mode] = round(generated / explore_span["mean_s"], 1)
+        ratios: dict[str, float] = {}
+        if generated and revisits is not None:
+            ratios["revisit"] = round(revisits / generated, 3)
+        if choices and dominated is not None:
+            ratios["dominance"] = round(dominated / (choices + dominated), 3)
+        if ratios:
+            prunes[mode] = ratios
+    if rates:
+        derived["states_per_s"] = rates
+    if prunes:
+        derived["prune_ratios"] = prunes
+    reduced = spans.get("mc.bench.explore.reduced")
+    unreduced = spans.get("mc.bench.explore.unreduced")
+    if (
+        reduced
+        and unreduced
+        and reduced.get("mean_s")
+        and unreduced.get("mean_s")
+    ):
+        derived["unreduced_vs_reduced_cost"] = round(
+            unreduced["mean_s"] / reduced["mean_s"], 2
+        )
+    return derived
 
 
 def vector_speedups(spans: dict[str, dict]) -> dict[str, float]:

@@ -28,6 +28,18 @@ from repro.sdd.spec import RECEIVER
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if args.sdd_fixture:
+        from repro.errors import ConfigurationError
+        from repro.mc.fixtures import classify_sdd_quadruple
+
+        try:
+            classification = classify_sdd_quadruple(args.sdd_fixture)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(classification.describe())
+        return 0 if classification.genuine else 1
+
     if args.jsonl:
         events = load_trace(args.jsonl)
         if events is None:
@@ -241,6 +253,15 @@ def register(sub: argparse._SubParsersAction) -> None:
         help=(
             "synchrony checker for --jsonl traces (default: weak round "
             "synchrony, sound for both models)"
+        ),
+    )
+    p_check.add_argument(
+        "--sdd-fixture",
+        metavar="NAME",
+        help=(
+            "classify a named SDD quadruple fixture (one of "
+            f"{sorted(SP_CANDIDATE_FACTORIES)}) as a Theorem 3.1 "
+            "indistinguishability witness"
         ),
     )
     p_check.set_defaults(func=_cmd_check)

@@ -42,6 +42,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_n=args.max_n,
             run_root=args.run_dir,
             progress_stream=sys.stderr if args.run_dir else None,
+            frontier=args.frontier,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -124,5 +125,15 @@ def register(sub: argparse._SubParsersAction) -> None:
         "--no-shrink",
         action="store_true",
         help="report failures without delta-debugging them",
+    )
+    p_fuzz.add_argument(
+        "--frontier",
+        metavar="FILE",
+        help=(
+            "sample cases from a saved model-checker frontier "
+            "(`repro mc ... --save-frontier FILE`) instead of random "
+            "generation: each case re-runs one deep reachable state "
+            "with a fuzzed engine and extended horizon"
+        ),
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)

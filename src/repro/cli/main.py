@@ -16,6 +16,9 @@ module under :mod:`repro.cli` and registers itself via ``register``:
   into the same run directories ``sweep --run-dir`` writes).
 * :mod:`repro.cli.fuzz` — ``fuzz`` (differential fuzzing across the
   engines, with counterexample shrinking).
+* :mod:`repro.cli.mc` — ``mc`` (exhaustive bounded model checking:
+  HOLDS/REFUTED verdicts over closed schedule frontiers, with
+  replayable witnesses).
 * :mod:`repro.cli.live` — ``live`` (a real asyncio cluster with
   heartbeat-built P and network fault injection).
 * :mod:`repro.cli.report` — ``report`` (run-directory dashboard, or
@@ -35,6 +38,7 @@ from repro.cli import check as _check
 from repro.cli import experiments as _experiments
 from repro.cli import fuzz as _fuzz
 from repro.cli import live as _live
+from repro.cli import mc as _mc
 from repro.cli import report as _report
 from repro.cli import serve as _serve
 from repro.cli import show as _show
@@ -69,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         _sweep,
         _serve,
         _fuzz,
+        _mc,
         _live,
         _report,
         _causal,

@@ -38,6 +38,14 @@ FUZZ_SPACE = "fuzz"
 
 
 def _build_space(args: argparse.Namespace) -> ScenarioSpace:
+    if args.space.startswith("mc:"):
+        # A model-checking frontier (repro mc prints the exact spec):
+        # the coordinator rebuilds cell-for-cell the space the solo
+        # `repro mc --run-dir` run executes, so the two resume each
+        # other.
+        from repro.mc import mc_space_from_spec
+
+        return mc_space_from_spec(args.space)
     if args.space == FUZZ_SPACE:
         from repro.fuzz.strategies import fuzz_stream_space
 
@@ -147,8 +155,10 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_serve.add_argument(
         "space",
         help=(
-            f"one of {sorted(SPACE_FACTORIES)}, or '{FUZZ_SPACE}' to "
-            "serve a fuzz stream (--count cases of --seed)"
+            f"one of {sorted(SPACE_FACTORIES)}, '{FUZZ_SPACE}' to "
+            "serve a fuzz stream (--count cases of --seed), or an "
+            "'mc:...' spec (printed by repro mc) to serve a "
+            "model-checking frontier"
         ),
     )
     p_serve.add_argument(

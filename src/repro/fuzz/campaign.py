@@ -45,6 +45,7 @@ from repro.fuzz.strategies import (
     LIVE_FUZZ_ENGINE,
     VECTOR_FUZZ_ENGINES,
     generate_case,
+    mc_frontier_cases,
 )
 from repro.inject import active_injection
 from repro.rounds.scenario import validate_scenario
@@ -315,6 +316,7 @@ def run_campaign(
     max_n: int = 4,
     run_root: str | None = None,
     progress_stream: Any = None,
+    frontier: str | None = None,
 ) -> FuzzReport:
     """Run one differential fuzzing campaign; see the module docstring.
 
@@ -329,8 +331,15 @@ def run_campaign(
     """
     if budget < 1:
         raise ConfigurationError("budget must be >= 1")
-    engine_list = resolve_engines(engines)
-    requests = generate_cases(budget, seed, engine_list, max_n=max_n)
+    if frontier is not None:
+        # Seed every case from a saved model-checker frontier: the
+        # stream samples exactly-known deep reachable states instead of
+        # random adversaries (see strategies.mc_frontier_case).
+        engine_list = ("mc-frontier",)
+        requests = mc_frontier_cases(budget, seed, frontier)
+    else:
+        engine_list = resolve_engines(engines)
+        requests = generate_cases(budget, seed, engine_list, max_n=max_n)
 
     run_dir: RunDir | None = None
     reporter: ProgressReporter | None = None
@@ -349,6 +358,7 @@ def run_campaign(
                 "seed": seed,
                 "engines": list(engine_list),
                 "max_n": max_n,
+                "frontier": frontier,
             },
         )
         completed_before = run_dir.completed_keys()

@@ -265,6 +265,95 @@ def fuzz_stream_space(
 
 
 # ---------------------------------------------------------------------------
+# The mc-frontier stream: fuzzing from deep reachable states
+# ---------------------------------------------------------------------------
+
+
+def mc_frontier_case(
+    index: int,
+    *,
+    seed: int,
+    exploration: Any,
+    extra_rounds: int = 2,
+) -> ExecutionRequest:
+    """Case ``index`` of a fuzz stream seeded from a checker frontier.
+
+    Random generation reaches deep states with vanishing probability;
+    the model checker's saved frontier is a census of *every* reachable
+    leaf of its bounded instance.  Each case re-executes one leaf —
+    drawn by the usual ``(seed, index)`` scheme — with a fuzzed engine
+    choice (``rounds`` vs ``vector``, so every case doubles as a
+    columnar differential) and a horizon extended by up to
+    ``extra_rounds``, probing behaviour *past* the explored bound from
+    an exactly-known deep state.
+    """
+    leaves = exploration.leaves
+    if not leaves:
+        raise ConfigurationError(
+            "cannot fuzz from an empty frontier (no leaves)"
+        )
+    rng = case_rng(seed, index)
+    leaf = leaves[rng.randrange(len(leaves))]
+    engine = rng.choice(("rounds", "vector"))
+    horizon = exploration.horizon + rng.randint(0, max(0, extra_rounds))
+    # Consensus is only an oracle where the algorithm is safe for the
+    # frontier's model — a frontier of a REFUTED instance (e.g. plain
+    # FloodSet under RWS) has expected disagreements, not bugs.
+    pool_key = f"rounds-{exploration.model.lower()}"
+    safe = exploration.algorithm in SAFE_ALGORITHMS.get(pool_key, ())
+    return ExecutionRequest(
+        name=f"mc-frontier-{seed}-{index:04d}",
+        engine=engine,
+        algorithm=exploration.algorithm,
+        values=leaf.values,
+        t=exploration.t,
+        model=exploration.model,
+        scenario=leaf.scenario,
+        max_rounds=horizon,
+        check_consensus=safe,
+    )
+
+
+def mc_frontier_cases(
+    budget: int,
+    seed: int,
+    frontier: Any,
+    *,
+    extra_rounds: int = 2,
+) -> tuple[ExecutionRequest, ...]:
+    """``budget`` cases sampled from ``frontier`` (path or Exploration)."""
+    if isinstance(frontier, (str, bytes)) or hasattr(frontier, "__fspath__"):
+        from repro.mc.space import load_frontier
+
+        frontier = load_frontier(frontier)
+    return tuple(
+        mc_frontier_case(
+            index, seed=seed, exploration=frontier, extra_rounds=extra_rounds
+        )
+        for index in range(budget)
+    )
+
+
+def mc_frontier_space(
+    *,
+    budget: int,
+    seed: int,
+    frontier: Any,
+    extra_rounds: int = 2,
+    name: str | None = None,
+) -> "ScenarioSpace":
+    """The mc-frontier stream as a shardable scenario space."""
+    from repro.runtime.space import ScenarioSpace
+
+    return ScenarioSpace(
+        name=name or f"mc-frontier-{seed}",
+        requests=mc_frontier_cases(
+            budget, seed, frontier, extra_rounds=extra_rounds
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis strategies (optional dependency)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,400 @@
+"""Property evaluators: the paper's theorems as executable predicates.
+
+Each registered property evaluates a frontier's executed cells — the
+``(request, result)`` pairs a :class:`~repro.runtime.sweep.SweepRunner`
+produced — and returns the violations it found.  Over an exhaustively
+explored frontier an empty violation list is a *machine-checked
+verdict*: the property holds on every admissible run of the bounded
+space (``HOLDS(exhaustive)``); any violation yields a concrete witness
+run (``REFUTED``).
+
+Cell properties (agreement, uniform agreement, validity, termination)
+judge each run in isolation; aggregate properties quantify over the
+whole frontier — ``lambda`` is the paper's ``Λ(A) = Lat(A, 0)`` worst
+case over the failure-free space, and ``indistinguishability`` is the
+Theorem 3.1 transport: two runs giving a process identical causal
+cones (:func:`repro.obs.causal.cone_signature`) must extract identical
+decisions from it.
+
+The property ↔ theorem correspondence is tabulated in
+``docs/paper_map.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.request import ExecutionRequest, ExecutionResult
+
+Pair = tuple[ExecutionRequest, ExecutionResult]
+
+
+@dataclass
+class Violation:
+    """One run (or run pair) a property rejected."""
+
+    cell: str
+    problems: list[str]
+    request: ExecutionRequest | None = None
+
+    def describe(self) -> str:
+        lines = [f"{self.cell}:"]
+        lines.extend(f"  {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+@dataclass
+class PropertyOutcome:
+    """A property's judgement over one frontier."""
+
+    holds: bool
+    violations: list[Violation] = field(default_factory=list)
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+def correct_pids(request: ExecutionRequest) -> tuple[int, ...]:
+    if request.scenario is not None:
+        return tuple(sorted(request.scenario.correct))
+    return tuple(sorted(request.pattern.correct))
+
+
+# -- cell properties ----------------------------------------------------------
+
+
+def agreement_problems(
+    request: ExecutionRequest, result: ExecutionResult
+) -> list[str]:
+    """No two *correct* processes decide differently (paper Sec. 2)."""
+    decided = {
+        pid: result.decisions[pid][1]
+        for pid in correct_pids(request)
+        if pid in result.decisions
+    }
+    values = set(decided.values())
+    if len(values) <= 1:
+        return []
+    return [
+        "correct processes disagree: "
+        + ", ".join(
+            f"p{pid} -> {value!r}" for pid, value in sorted(decided.items())
+        )
+    ]
+
+
+def uniform_agreement_problems(
+    request: ExecutionRequest, result: ExecutionResult
+) -> list[str]:
+    """No two processes — crashed deciders included — decide differently.
+
+    The engines record a decision taken in a crash round with
+    ``applies_transition`` too, so ``result.decisions`` is exactly the
+    uniform-agreement quantification domain (paper Sec. 5).
+    """
+    values = {value for _, value in result.decisions.values()}
+    if len(values) <= 1:
+        return []
+    return [
+        "processes disagree (uniformly): "
+        + ", ".join(
+            f"p{pid} -> {entry[1]!r}"
+            for pid, entry in sorted(result.decisions.items())
+        )
+    ]
+
+
+def validity_problems(
+    request: ExecutionRequest, result: ExecutionResult
+) -> list[str]:
+    """Every decided value is some process's initial value."""
+    initial = set(request.values)
+    bad = {
+        pid: entry[1]
+        for pid, entry in result.decisions.items()
+        if entry[1] not in initial
+    }
+    if not bad:
+        return []
+    return [
+        f"decided value(s) outside the initial set {sorted(initial)}: "
+        + ", ".join(f"p{pid} -> {value!r}" for pid, value in sorted(bad.items()))
+    ]
+
+
+def termination_problems(
+    request: ExecutionRequest,
+    result: ExecutionResult,
+    *,
+    by_round: int,
+) -> list[str]:
+    """Every correct process decides within ``by_round`` rounds."""
+    problems = []
+    for pid in correct_pids(request):
+        entry = result.decisions.get(pid)
+        if entry is None:
+            problems.append(f"p{pid} never decided")
+        elif entry[0] > by_round:
+            problems.append(
+                f"p{pid} decided in round {entry[0]} > bound {by_round}"
+            )
+    return problems
+
+
+# -- aggregate properties -----------------------------------------------------
+
+
+def parse_bound(bound: str) -> tuple[str, int]:
+    """Parse a Λ bound spec (``'==1'``, ``'>=2'``, ``'<=3'``)."""
+    for op in ("==", ">=", "<="):
+        if bound.startswith(op):
+            try:
+                return op, int(bound[len(op) :])
+            except ValueError:
+                break
+    raise ConfigurationError(
+        f"malformed bound {bound!r} (want ==K, >=K or <=K)"
+    )
+
+
+def _bound_holds(op: str, value: int, limit: int) -> bool:
+    if op == "==":
+        return value == limit
+    if op == ">=":
+        return value >= limit
+    return value <= limit
+
+
+#: Per-algorithm default Λ bounds, straight from the paper: A1 achieves
+#: ``Λ = 1`` in RS (Theorem 5.1); every safe RWS algorithm has
+#: ``Λ >= 2`` (Theorem 5.2); the FloodSet family decides in exactly
+#: ``t + 1`` rounds, failure-free runs included.
+def default_lambda_bound(algorithm: str, model: str, t: int) -> str | None:
+    if algorithm == "a1":
+        return "==1"
+    if model == "RWS":
+        return ">=2"
+    if algorithm in ("floodset", "floodset-ws", "c-opt", "c-opt-ws"):
+        return f"=={t + 1}"
+    return None
+
+
+def lambda_outcome(
+    pairs: Sequence[Pair], *, bound: str | None
+) -> PropertyOutcome:
+    """``Λ = Lat(A, 0)``: the worst failure-free latency vs its bound.
+
+    The frontier must be the full failure-free run set
+    (:func:`repro.mc.space.lambda_space`); the observed worst case then
+    *is* Λ, and the verdict compares it against the claimed bound.
+    """
+    violations: list[Violation] = []
+    worst: int | None = None
+    for request, result in pairs:
+        if result.latency is None:
+            violations.append(
+                Violation(
+                    cell=request.name,
+                    problems=["failure-free run did not terminate"],
+                    request=request,
+                )
+            )
+            continue
+        worst = (
+            result.latency if worst is None else max(worst, result.latency)
+        )
+    details: dict[str, Any] = {"lambda": worst, "bound": bound}
+    if violations:
+        return PropertyOutcome(holds=False, violations=violations, details=details)
+    if bound is not None and worst is not None:
+        op, limit = parse_bound(bound)
+        if not _bound_holds(op, worst, limit):
+            worst_cells = [
+                request.name
+                for request, result in pairs
+                if result.latency == worst
+            ]
+            violations.append(
+                Violation(
+                    cell=worst_cells[0],
+                    problems=[
+                        f"Λ = {worst} violates the bound {bound} "
+                        f"(worst cells: {', '.join(worst_cells[:4])})"
+                    ],
+                    request=next(
+                        request
+                        for request, result in pairs
+                        if result.latency == worst
+                    ),
+                )
+            )
+    return PropertyOutcome(
+        holds=not violations, violations=violations, details=details
+    )
+
+
+def indistinguishability_outcome(pairs: Sequence[Pair]) -> PropertyOutcome:
+    """Theorem 3.1 as a frontier invariant: equal cones, equal decisions.
+
+    For every process, runs are grouped by the process's causal-cone
+    signature; within a group the process's decision must be constant.
+    A conflict exhibits two runs the process cannot distinguish in
+    which it nevertheless behaves differently — exactly the
+    contradiction shape the paper's impossibility arguments build.
+    """
+    from repro.obs.causal import cone_signature
+
+    groups: dict[tuple[int, tuple], dict[Any, str]] = {}
+    violations: list[Violation] = []
+    for request, result in pairs:
+        for pid in correct_pids(request):
+            entry = result.decisions.get(pid)
+            if entry is None:
+                continue
+            signature = cone_signature(result.events, pid)
+            seen = groups.setdefault((pid, signature), {})
+            if entry[1] not in seen:
+                seen[entry[1]] = request.name
+            if len(seen) > 1:
+                others = sorted(
+                    f"{value!r} in {cell}" for value, cell in seen.items()
+                )
+                violations.append(
+                    Violation(
+                        cell=request.name,
+                        problems=[
+                            f"p{pid} has identical causal cones but decides "
+                            + " vs ".join(others)
+                        ],
+                        request=request,
+                    )
+                )
+    return PropertyOutcome(
+        holds=not violations,
+        violations=violations,
+        details={"cone_groups": len(groups)},
+    )
+
+
+# -- registry -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Property:
+    """One checkable property: evaluator + its paper anchor."""
+
+    name: str
+    kind: str  # "cell" | "aggregate"
+    doc: str
+    theorem: str
+    #: Cell properties: ``(request, result, **kw) -> problems``.
+    cell_evaluator: Callable[..., list[str]] | None = None
+
+
+PROPERTIES: dict[str, Property] = {
+    prop.name: prop
+    for prop in (
+        Property(
+            name="agreement",
+            kind="cell",
+            doc="no two correct processes decide differently",
+            theorem="consensus spec, Sec. 2.2",
+            cell_evaluator=agreement_problems,
+        ),
+        Property(
+            name="uniform-agreement",
+            kind="cell",
+            doc="no two processes decide differently, crashed included",
+            theorem="uniform consensus, Sec. 5 / Theorem 5.3",
+            cell_evaluator=uniform_agreement_problems,
+        ),
+        Property(
+            name="validity",
+            kind="cell",
+            doc="every decided value is some process's initial value",
+            theorem="consensus spec, Sec. 2.2",
+            cell_evaluator=validity_problems,
+        ),
+        Property(
+            name="termination",
+            kind="cell",
+            doc="every correct process decides within the round bound",
+            theorem="FloodSet t+1 bound, Sec. 2.3",
+            cell_evaluator=termination_problems,
+        ),
+        Property(
+            name="lambda",
+            kind="aggregate",
+            doc="the failure-free worst-case latency Λ meets its bound",
+            theorem="Theorems 5.1 (Λ(A1)=1) and 5.2 (Λ_RWS >= 2)",
+        ),
+        Property(
+            name="indistinguishability",
+            kind="aggregate",
+            doc="equal causal cones imply equal decisions (Theorem 3.1)",
+            theorem="Theorem 3.1",
+        ),
+    )
+}
+
+
+def evaluate_property(
+    name: str,
+    pairs: Sequence[Pair],
+    *,
+    t: int,
+    horizon: int,
+    bound: str | None = None,
+    by_round: int | None = None,
+) -> PropertyOutcome:
+    """Judge one property over a frontier's executed cells."""
+    prop = PROPERTIES.get(name)
+    if prop is None:
+        raise ConfigurationError(
+            f"unknown property {name!r}; choose from {sorted(PROPERTIES)}"
+        )
+    if prop.kind == "aggregate":
+        if name == "lambda":
+            return lambda_outcome(pairs, bound=bound)
+        return indistinguishability_outcome(pairs)
+
+    kwargs: dict[str, Any] = {}
+    if name == "termination":
+        kwargs["by_round"] = by_round if by_round is not None else min(
+            t + 1, horizon
+        )
+    violations = []
+    for request, result in pairs:
+        problems = prop.cell_evaluator(request, result, **kwargs)
+        if problems:
+            violations.append(
+                Violation(cell=request.name, problems=problems, request=request)
+            )
+    details: dict[str, Any] = {"cells": len(pairs)}
+    details.update(kwargs)
+    return PropertyOutcome(
+        holds=not violations, violations=violations, details=details
+    )
+
+
+def cell_property_problems(
+    name: str,
+    request: ExecutionRequest,
+    result: ExecutionResult,
+    *,
+    t: int,
+    horizon: int,
+    by_round: int | None = None,
+) -> list[str]:
+    """One cell's problems under a cell property (the shrinker's lens)."""
+    prop = PROPERTIES.get(name)
+    if prop is None or prop.cell_evaluator is None:
+        raise ConfigurationError(
+            f"{name!r} is not a per-cell property; cannot evaluate one cell"
+        )
+    kwargs: dict[str, Any] = {}
+    if name == "termination":
+        kwargs["by_round"] = by_round if by_round is not None else min(
+            t + 1, horizon
+        )
+    return prop.cell_evaluator(request, result, **kwargs)

@@ -1,0 +1,212 @@
+"""Symmetry reduction: orbit-canonical configuration representatives.
+
+Two configurations related by a process-id permutation (for algorithms
+whose code is the same at every process) or by a value-domain bijection
+(for algorithms that transport values opaquely) have isomorphic
+futures, and every property the checker evaluates — agreement, uniform
+agreement, validity, termination, latency — is invariant under the
+relabeling.  The checker therefore stores only the *orbit-canonical*
+representative: the lexicographically least canonical form over the
+algorithm's declared symmetry group.
+
+Soundness is per-algorithm and declared explicitly here:
+
+* The FloodSet family (plain, WS, C_Opt, F_Opt, eager) runs identical
+  code at every process, so the full symmetric group applies; states
+  that name pids (``halt`` / ``last_senders`` sets) are relabeled
+  through the permutation.
+* A1 gives p0 and p1 fixed roles, so only pids ``>= 2`` are
+  interchangeable.  Its transitions never *order* values (`w` and the
+  report payloads are opaque), so A1 is additionally value-symmetric.
+* FloodSet-style algorithms decide ``min(W)`` — an order-*sensitive*
+  rule — so a value permutation does **not** commute with them and is
+  never applied.
+
+Algorithms not registered here get the trivial group: canonical state
+hashing still deduplicates exact revisits, only the quotient is
+coarser.  The ``--no-reduce`` twin mode skips this module entirely;
+its verdicts must agree with the reduced run (tested), which is the
+executable soundness argument for every declaration above.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.mc.config import Configuration, canonical_form, value_sort_key
+
+
+def _identity_state(state: Any, perm: Sequence[int]) -> Any:
+    return state
+
+
+def _relabel_pid_set(state: Any, perm: Sequence[int], field: str) -> Any:
+    pids = getattr(state, field)
+    return replace(state, **{field: frozenset(perm[pid] for pid in pids)})
+
+
+def _halt_relabel(state: Any, perm: Sequence[int]) -> Any:
+    return _relabel_pid_set(state, perm, "halt")
+
+
+def _early_relabel(state: Any, perm: Sequence[int]) -> Any:
+    return _relabel_pid_set(state, perm, "last_senders")
+
+
+def _a1_value_relabel(state: Any, vmap: Mapping[Any, Any]) -> Any:
+    decision = state.decision
+    if decision is not None:
+        decision = vmap.get(decision, decision)
+    return replace(
+        state, w=vmap.get(state.w, state.w), decision=decision
+    )
+
+
+@dataclass(frozen=True)
+class SymmetrySpec:
+    """One algorithm's declared symmetries.
+
+    Attributes:
+        movable: Given ``n``, the pids that are interchangeable (they
+            are permuted among themselves; every other pid is fixed).
+        relabel_state: Push a pid permutation through one state
+            (``perm[old_pid] -> new_pid``); identity for states that
+            never name pids.
+        value_symmetric: Whether arbitrary bijections of the value
+            domain commute with the algorithm.
+        relabel_values: Push a value bijection through one state
+            (required when ``value_symmetric``).
+    """
+
+    movable: Callable[[int], tuple[int, ...]]
+    relabel_state: Callable[[Any, Sequence[int]], Any] = _identity_state
+    value_symmetric: bool = False
+    relabel_values: Callable[[Any, Mapping[Any, Any]], Any] | None = None
+
+
+def _all_pids(n: int) -> tuple[int, ...]:
+    return tuple(range(n))
+
+
+def _non_role_pids(n: int) -> tuple[int, ...]:
+    return tuple(range(2, n))
+
+
+#: Algorithm registry key -> declared symmetry.
+SYMMETRIES: dict[str, SymmetrySpec] = {
+    "floodset": SymmetrySpec(movable=_all_pids),
+    "floodset-ws": SymmetrySpec(
+        movable=_all_pids, relabel_state=_halt_relabel
+    ),
+    "c-opt": SymmetrySpec(movable=_all_pids),
+    "c-opt-ws": SymmetrySpec(movable=_all_pids, relabel_state=_halt_relabel),
+    "f-opt": SymmetrySpec(movable=_all_pids),
+    "f-opt-ws": SymmetrySpec(movable=_all_pids, relabel_state=_halt_relabel),
+    "eager-floodset-ws": SymmetrySpec(
+        movable=_all_pids, relabel_state=_early_relabel
+    ),
+    "a1": SymmetrySpec(
+        movable=_non_role_pids,
+        value_symmetric=True,
+        relabel_values=_a1_value_relabel,
+    ),
+}
+
+#: The trivial group: nothing moves, no value bijections.
+TRIVIAL = SymmetrySpec(movable=lambda n: ())
+
+
+def symmetry_for(algorithm_key: str) -> SymmetrySpec:
+    """The declared symmetry of ``algorithm_key`` (trivial if unknown)."""
+    return SYMMETRIES.get(algorithm_key, TRIVIAL)
+
+
+def _permutations(spec: SymmetrySpec, n: int):
+    """All pid maps ``perm[old] = new`` of the declared group."""
+    movable = list(spec.movable(n))
+    if len(movable) < 2:
+        yield tuple(range(n))
+        return
+    for images in itertools.permutations(movable):
+        perm = list(range(n))
+        for old, new in zip(movable, images):
+            perm[old] = new
+        yield tuple(perm)
+
+
+def _value_maps(spec: SymmetrySpec, config: Configuration):
+    """All value bijections of the observed domain (identity-first)."""
+    if not spec.value_symmetric:
+        yield None
+        return
+    domain = sorted(set(config.initial_values), key=value_sort_key)
+    for images in itertools.permutations(domain):
+        yield dict(zip(domain, images))
+
+
+def _apply(
+    config: Configuration,
+    spec: SymmetrySpec,
+    perm: Sequence[int],
+    vmap: Mapping[Any, Any] | None,
+) -> Configuration:
+    n = config.n
+    states: list[Any] = [None] * n
+    for old in range(n):
+        state = config.states[old]
+        if state is None:
+            continue
+        state = spec.relabel_state(state, perm)
+        if vmap is not None:
+            assert spec.relabel_values is not None
+            state = spec.relabel_values(state, vmap)
+        states[perm[old]] = state
+    decided = config.decided
+    initial_values = config.initial_values
+    if vmap is not None:
+        decided = tuple(
+            sorted(
+                (vmap.get(value, value) for value in decided),
+                key=value_sort_key,
+            )
+        )
+        initial_values = tuple(
+            sorted(
+                (vmap.get(value, value) for value in initial_values),
+                key=value_sort_key,
+            )
+        )
+    obligations = tuple(
+        sorted((perm[pid], deadline) for pid, deadline in config.obligations)
+    )
+    return Configuration(
+        round=config.round,
+        states=tuple(states),
+        decided=decided,
+        initial_values=initial_values,
+        obligations=obligations,
+    )
+
+
+def orbit_canonical(
+    config: Configuration, spec: SymmetrySpec
+) -> tuple[str, Configuration]:
+    """``(canonical form, representative)`` over the declared group.
+
+    The representative is the configuration whose canonical JSON form
+    is lexicographically least across every (pid permutation × value
+    bijection) of the group — a deterministic orbit invariant.
+    """
+    best_form: str | None = None
+    best_config = config
+    for vmap in _value_maps(spec, config):
+        for perm in _permutations(spec, config.n):
+            candidate = _apply(config, spec, perm, vmap)
+            form = canonical_form(candidate)
+            if best_form is None or form < best_form:
+                best_form = form
+                best_config = candidate
+    assert best_form is not None
+    return best_form, best_config

@@ -44,8 +44,10 @@ from repro.rounds.enumeration import (
     all_crash_events,
     all_scenarios,
     all_value_assignments,
+    canonical_scenarios,
     expected_scenario_count,
     random_scenario,
+    relabel_scenario,
 )
 
 __all__ = [
@@ -66,6 +68,8 @@ __all__ = [
     "all_crash_events",
     "all_scenarios",
     "all_value_assignments",
+    "canonical_scenarios",
     "expected_scenario_count",
     "random_scenario",
+    "relabel_scenario",
 ]

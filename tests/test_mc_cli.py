@@ -1,0 +1,126 @@
+"""CLI surface of the model checker: `repro mc` and its neighbours."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.main import main
+
+
+class TestMcCommand:
+    def test_list_properties(self, capsys):
+        assert main(["mc", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("agreement", "lambda", "indistinguishability"):
+            assert name in out
+
+    def test_a1_clamps_t_with_a_note(self, capsys):
+        rc = main(
+            ["mc", "agreement", "--algorithm", "A1", "--n", "3", "--t", "2"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "clamping --t 2 -> 1" in captured.err
+        assert "HOLDS(exhaustive)" in captured.out
+        # Schedule-engine verdicts print the serve spec for sharding.
+        assert "serve spec: mc:agreement:a1:" in captured.out
+
+    def test_refuted_run_writes_replayable_witnesses(self, tmp_path, capsys):
+        out_dir = tmp_path / "verdicts"
+        rc = main(
+            [
+                "mc",
+                "agreement",
+                "--algorithm",
+                "floodset",
+                "--model",
+                "RWS",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REFUTED" in captured.out
+
+        verdict = json.loads((out_dir / "verdict.json").read_text())
+        assert verdict["kind"] == "mc-verdict"
+        assert verdict["verdict"] == "REFUTED"
+
+        witness = out_dir / "mc-witness-00.json"
+        assert witness.exists()
+        assert main(["replay", "--repro", str(witness)]) == 0
+        replay_out = capsys.readouterr().out
+        assert "replay" in replay_out.lower() or replay_out
+
+    def test_unknown_property_is_a_config_error(self, capsys):
+        rc = main(["mc", "liveness"])
+        assert rc == 2
+        assert "unknown property" in capsys.readouterr().err
+
+    def test_no_property_and_no_fixture_is_an_error(self, capsys):
+        rc = main(["mc"])
+        assert rc == 2
+        assert "provide a property" in capsys.readouterr().err
+
+    def test_fixture_classification(self, capsys):
+        assert main(["mc", "--fixture", "timeout"]) == 0
+        assert "genuine" in capsys.readouterr().out.lower()
+
+    def test_unknown_fixture_is_a_config_error(self, capsys):
+        assert main(["mc", "--fixture", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_save_frontier_seeds_fuzz(self, tmp_path, capsys):
+        frontier = tmp_path / "frontier.json"
+        rc = main(
+            [
+                "mc",
+                "agreement",
+                "--algorithm",
+                "floodset",
+                "--save-frontier",
+                str(frontier),
+            ]
+        )
+        assert rc == 0
+        assert frontier.exists()
+        capsys.readouterr()
+        rc = main(
+            [
+                "fuzz",
+                "--budget",
+                "6",
+                "--seed",
+                "0",
+                "--frontier",
+                str(frontier),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mc-frontier" in out
+
+    def test_fuzz_frontier_missing_file_is_a_config_error(self, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--budget",
+                "4",
+                "--seed",
+                "0",
+                "--frontier",
+                "/nonexistent/frontier.json",
+            ]
+        )
+        assert rc == 2
+        assert "frontier" in capsys.readouterr().err
+
+
+class TestCheckSddFixture:
+    def test_known_fixture_classifies_genuine(self, capsys):
+        assert main(["check", "--sdd-fixture", "suspicion"]) == 0
+        assert "genuine" in capsys.readouterr().out.lower()
+
+    def test_unknown_fixture_is_a_config_error(self, capsys):
+        assert main(["check", "--sdd-fixture", "bogus"]) == 2

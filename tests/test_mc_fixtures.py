@@ -1,0 +1,38 @@
+"""SDD quadruple fixtures: every registered candidate is genuine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc.fixtures import classify_sdd_quadruple, sdd_fixture_names
+
+
+class TestSddFixtures:
+    def test_registry_is_populated(self):
+        names = sdd_fixture_names()
+        assert names
+        assert names == sorted(names)
+
+    @pytest.mark.parametrize("name", sdd_fixture_names())
+    def test_every_fixture_is_a_genuine_witness(self, name):
+        classification = classify_sdd_quadruple(name)
+        assert classification.candidate == name
+        # Premise: the receiver cannot tell the runs within each pair
+        # apart (Theorem 3.1's indistinguishability hypothesis)...
+        assert classification.indistinguishable
+        assert all(classification.indistinguishable.values())
+        # ...conclusion: the candidate still violates SDD somewhere.
+        assert classification.refuted
+        assert classification.genuine
+        assert not classification.problems
+
+    @pytest.mark.parametrize("name", sdd_fixture_names())
+    def test_describe_mentions_the_verdict(self, name):
+        text = classify_sdd_quadruple(name).describe()
+        assert "genuine" in text.lower()
+        assert name in text
+
+    def test_unknown_fixture_raises(self):
+        with pytest.raises(ConfigurationError):
+            classify_sdd_quadruple("not-a-fixture")

@@ -1,0 +1,91 @@
+"""Sharded checking: mc:... serve specs and solo/serve resume parity."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.mc import McTask, check, mc_space_from_spec, spec_for_task
+from repro.mc.space import parse_spec, space_for_params
+from repro.serve import Coordinator, execute_shard
+
+import pytest
+
+TASK = McTask(
+    property_name="agreement",
+    algorithm="floodset",
+    n=3,
+    t=1,
+    model="RS",
+    horizon=3,
+)
+
+
+class TestSpecRoundTrip:
+    def test_spec_rebuilds_the_same_space(self):
+        spec = spec_for_task(TASK)
+        assert spec.startswith("mc:agreement:floodset:")
+        space = mc_space_from_spec(spec)
+        solo = check(TASK)
+        assert space.name == solo.sweep.space_name
+        assert [r.cache_key() for r in space.requests] == [
+            r.request_key for r in solo.sweep.results
+        ]
+
+    def test_parse_spec_recovers_parameters(self):
+        params = parse_spec(spec_for_task(TASK))
+        assert params["algorithm"] == "floodset"
+        assert params["n"] == 3 and params["t"] == 1
+        assert params["model"] == "RS"
+        assert space_for_params(params).name == mc_space_from_spec(
+            spec_for_task(TASK)
+        ).name
+
+    def test_malformed_spec_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mc_space_from_spec("sweep:all:floodset")
+
+
+class TestServeResumesSolo:
+    def _drive(self, coordinator):
+        while True:
+            grant = coordinator.claim("w1")
+            if grant.get("done"):
+                break
+            results = execute_shard(grant)
+            receipt = coordinator.submit(
+                {
+                    "shard_id": grant["shard_id"],
+                    "lease_id": grant["lease_id"],
+                    "worker_id": "w1",
+                    "results": results,
+                }
+            )
+            assert receipt["stale"] is False
+        return coordinator.finalize()
+
+    def test_sharded_run_then_solo_check_reexecutes_nothing(self, tmp_path):
+        root = str(tmp_path / "runs")
+        space = mc_space_from_spec(spec_for_task(TASK))
+        _, summary = self._drive(
+            Coordinator(space, run_root=root, shard_size=3)
+        )
+        assert summary["serve"]["cells"]["executed"] == len(space.requests)
+
+        # The solo checker opens the very same run directory (same
+        # space name + identity), finds every cell cached, and still
+        # recomputes the full verdict.
+        resumed = check(
+            McTask(**{**TASK.__dict__, "run_root": root})
+        )
+        assert resumed.sweep.executed == 0
+        assert resumed.sweep.cached == len(space.requests)
+
+        fresh = check(TASK)
+        assert resumed.verdict.to_dict() == fresh.verdict.to_dict()
+
+    def test_solo_run_resumes_itself(self, tmp_path):
+        root = str(tmp_path / "runs")
+        first = check(McTask(**{**TASK.__dict__, "run_root": root}))
+        assert first.sweep.executed == len(first.sweep.results)
+        second = check(McTask(**{**TASK.__dict__, "run_root": root}))
+        assert second.sweep.executed == 0
+        assert second.verdict.to_dict() == first.verdict.to_dict()
